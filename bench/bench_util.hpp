@@ -1,0 +1,115 @@
+// Shared plumbing for the figure-reproduction binaries.
+#pragma once
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "sim/table.hpp"
+
+namespace dynvote::bench {
+
+/// The five algorithms plotted in the availability figures (unoptimized
+/// YKD is omitted exactly as the thesis omits it: its curve is identical
+/// to YKD's, which `ablation_unoptimized_ykd` verifies).
+inline std::vector<AlgorithmKind> plotted_algorithms() {
+  return {AlgorithmKind::kYkd, AlgorithmKind::kDfls,
+          AlgorithmKind::kOnePending, AlgorithmKind::kMr1p,
+          AlgorithmKind::kSimpleMajority};
+}
+
+/// Runs per case: the thesis used 1000; we default to 400 to keep the full
+/// suite minutes-scale on one core (DV_RUNS overrides, e.g. DV_RUNS=1000).
+inline std::uint64_t default_runs() { return runs_from_env(400); }
+
+struct AvailabilityFigure {
+  std::string name;                 // e.g. "Figure 4-2"
+  std::size_t changes;
+  RunMode mode;
+  /// results[algorithm][rate_index]
+  std::map<AlgorithmKind, std::vector<CaseResult>> results;
+  std::vector<double> rates;
+};
+
+/// Run one availability figure: the full rate sweep for every plotted
+/// algorithm at the given change count and mode.
+inline AvailabilityFigure run_availability_figure(const std::string& name,
+                                                  std::size_t changes,
+                                                  RunMode mode,
+                                                  std::size_t processes = 64) {
+  AvailabilityFigure fig;
+  fig.name = name;
+  fig.changes = changes;
+  fig.mode = mode;
+  fig.rates = standard_rate_sweep();
+
+  const std::uint64_t runs = default_runs();
+  const std::uint64_t seed = seed_from_env(0x5eed);
+
+  for (AlgorithmKind kind : plotted_algorithms()) {
+    auto& column = fig.results[kind];
+    column.reserve(fig.rates.size());
+    for (double rate : fig.rates) {
+      CaseSpec spec;
+      spec.algorithm = kind;
+      spec.processes = processes;
+      spec.changes = changes;
+      spec.mean_rounds = rate;
+      spec.runs = runs;
+      spec.mode = mode;
+      spec.base_seed = seed;
+      column.push_back(run_case(spec));
+    }
+  }
+  return fig;
+}
+
+/// Print the figure as the table the thesis plots: one row per rate, one
+/// availability column per algorithm.
+inline void print_availability_figure(const AvailabilityFigure& fig,
+                                      const std::string& csv_name) {
+  std::cout << "\n== " << fig.name << ": system availability, " << fig.changes
+            << (fig.mode == RunMode::kCascading ? " cascading" : "")
+            << " connectivity changes ==\n"
+            << "(" << default_runs() << " runs per case, 64 processes; "
+            << "availability % = runs ending with a primary component)\n";
+
+  std::vector<std::string> headers{"rounds between changes"};
+  for (AlgorithmKind kind : plotted_algorithms()) {
+    headers.emplace_back(to_string(kind));
+  }
+  TextTable table(headers);
+  for (std::size_t r = 0; r < fig.rates.size(); ++r) {
+    std::vector<std::string> row{format_double(fig.rates[r], 0)};
+    for (AlgorithmKind kind : plotted_algorithms()) {
+      row.push_back(format_double(
+          fig.results.at(kind)[r].availability_percent()));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  if (maybe_write_csv(csv_name, table.to_csv())) {
+    std::cout << "(csv written to $DV_CSV_DIR/" << csv_name << ".csv)\n";
+  }
+}
+
+/// The thesis's §4.1 paired statistic: percentage of runs where YKD formed
+/// a primary and DFLS did not, averaged over the moderate-to-high rates.
+inline void print_ykd_dfls_gap(const AvailabilityFigure& fig) {
+  const auto& ykd = fig.results.at(AlgorithmKind::kYkd);
+  const auto& dfls = fig.results.at(AlgorithmKind::kDfls);
+  double total = 0;
+  std::size_t counted = 0;
+  for (std::size_t r = 0; r < fig.rates.size(); ++r) {
+    if (fig.rates[r] < 4.0) continue;  // "moderate to high mean time"
+    total += percent_a_wins(ykd[r], dfls[r]);
+    ++counted;
+  }
+  std::cout << "YKD forms a primary where DFLS does not in "
+            << format_double(total / static_cast<double>(counted), 2)
+            << "% of runs (rates >= 4; thesis reports ~3%).\n";
+}
+
+}  // namespace dynvote::bench

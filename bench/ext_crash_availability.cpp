@@ -1,0 +1,50 @@
+// EXTENSION EXPERIMENT (thesis §5.1 future work): "we have not
+// demonstrated algorithms' availability if one of the processes from the
+// original view crashes."
+//
+// We mix process crash/recovery faults into the fault stream and sweep the
+// crash fraction.  Expected: crashes hit 1-pending hardest -- a pending
+// session whose member is *dead* (not merely partitioned away) can stay
+// unresolvable until the member recovers -- while YKD keeps pipelining and
+// simple majority only cares about head-count.  Also reported: in-run
+// availability (fraction of rounds with a live primary), which penalizes
+// slow re-formation in a way the end-of-run flag cannot.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace dynvote;
+  using namespace dynvote::bench;
+
+  const std::uint64_t runs = default_runs();
+  const std::uint64_t seed = seed_from_env(0x5eed);
+
+  std::cout << "== EXTENSION: availability under process crashes ("
+            << runs << " runs per case, 64 processes, 6 changes, rate 4) ==\n"
+            << "crash fraction = share of injected faults that are "
+               "crashes/recoveries\n";
+
+  for (AlgorithmKind kind : plotted_algorithms()) {
+    std::cout << "\n-- " << to_string(kind) << " --\n";
+    TextTable table({"crash fraction", "availability %", "in-run avail %",
+                     "runs w/ pending %"});
+    for (double crash_fraction : {0.0, 0.1, 0.25, 0.5}) {
+      CaseSpec spec;
+      spec.algorithm = kind;
+      spec.processes = 64;
+      spec.changes = 6;
+      spec.mean_rounds = 4.0;
+      spec.crash_fraction = crash_fraction;
+      spec.runs = runs;
+      spec.base_seed = seed;
+      const CaseResult r = run_case(spec);
+      table.add_row({format_double(crash_fraction, 2),
+                     format_double(r.availability_percent()),
+                     format_double(r.in_run_availability_percent()),
+                     format_double(r.stable.percent_nonzero())});
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

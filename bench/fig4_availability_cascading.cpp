@@ -1,0 +1,37 @@
+// Reproduces thesis Figures 4-4, 4-5, 4-6: system availability under 2, 6
+// and 12 *cascading* connectivity changes -- each run starts in the state
+// where the previous one ended, so a 1000-run case experiences 2000, 6000
+// or 12000 changes in one continuous execution.
+//
+// Expected shape (thesis §4.1):
+//  * YKD and DFLS are nearly as available as in the fresh-start tests:
+//    running for extensive periods does not degrade them;
+//  * 1-pending degrades dramatically -- unresolvable pending sessions
+//    accumulate across runs, often leaving it below simple majority;
+//  * MR1p fares worst of all at high change counts: five message rounds
+//    make every recovery attempt interruptible.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace dynvote;
+  using namespace dynvote::bench;
+
+  const struct {
+    const char* name;
+    std::size_t changes;
+    const char* csv;
+  } figures[] = {
+      {"Figure 4-4", 2, "fig4_4_cascading_2"},
+      {"Figure 4-5", 6, "fig4_5_cascading_6"},
+      {"Figure 4-6", 12, "fig4_6_cascading_12"},
+  };
+
+  for (const auto& f : figures) {
+    const AvailabilityFigure fig =
+        run_availability_figure(f.name, f.changes, RunMode::kCascading);
+    print_availability_figure(fig, f.csv);
+  }
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Reproduces thesis Figures 4-1, 4-2, 4-3: system availability under 2, 6
+// and 12 connectivity changes, "fresh start" mode (each run begins in the
+// original all-connected state), across the full rate sweep.
+//
+// Expected shape (thesis §4.1):
+//  * at the extreme left (changes every round) every algorithm collapses
+//    to the simple-majority baseline -- no time to exchange anything;
+//  * availability rises with the mean rounds between changes;
+//  * YKD >= DFLS everywhere (DFLS pays for its extra round);
+//  * 1-pending and MR1p fall well below YKD as changes increase, dropping
+//    under simple majority at 12 changes;
+//  * MR1p is nearly as available as YKD at 2 changes (one pending session
+//    is exactly what it can resolve) but degrades fastest as changes grow.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace dynvote;
+  using namespace dynvote::bench;
+
+  const struct {
+    const char* name;
+    std::size_t changes;
+    const char* csv;
+  } figures[] = {
+      {"Figure 4-1", 2, "fig4_1_fresh_2"},
+      {"Figure 4-2", 6, "fig4_2_fresh_6"},
+      {"Figure 4-3", 12, "fig4_3_fresh_12"},
+  };
+
+  for (const auto& f : figures) {
+    const AvailabilityFigure fig =
+        run_availability_figure(f.name, f.changes, RunMode::kFreshStart);
+    print_availability_figure(fig, f.csv);
+    print_ykd_dfls_gap(fig);
+  }
+  return 0;
+}

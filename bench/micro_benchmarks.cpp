@@ -1,0 +1,116 @@
+// google-benchmark microbenchmarks: the per-operation costs underneath the
+// simulation -- codec throughput, quorum math, a full protocol round, and
+// whole simulated runs per algorithm (the unit of the availability study).
+#include <benchmark/benchmark.h>
+
+#include "core/payload.hpp"
+#include "core/quorum.hpp"
+#include "sim/driver.hpp"
+#include "util/rng.hpp"
+
+namespace dynvote {
+namespace {
+
+StateExchangePayload typical_state(std::size_t processes) {
+  StateExchangePayload p;
+  p.view_id = 3;
+  p.session_number = 40;
+  p.last_primary = Session{39, ProcessSet::full(processes)};
+  for (int i = 0; i < 2; ++i) {
+    p.ambiguous.push_back(Session{40u + i, ProcessSet::full(processes)});
+  }
+  p.last_formed.assign(processes, Session{39, ProcessSet::full(processes)});
+  return p;
+}
+
+void BM_EncodeStatePayload(benchmark::State& state) {
+  const auto payload = typical_state(static_cast<std::size_t>(state.range(0)));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const auto encoded = encode_payload(payload);
+    bytes = encoded.size();
+    benchmark::DoNotOptimize(encoded.data());
+  }
+  state.counters["wire_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_EncodeStatePayload)->Arg(16)->Arg(64);
+
+void BM_DecodeStatePayload(benchmark::State& state) {
+  const auto encoded =
+      encode_payload(typical_state(static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state) {
+    const PayloadPtr decoded = decode_payload(encoded);
+    benchmark::DoNotOptimize(decoded.get());
+  }
+}
+BENCHMARK(BM_DecodeStatePayload)->Arg(16)->Arg(64);
+
+void BM_Subquorum(benchmark::State& state) {
+  Rng rng(7);
+  const std::size_t n = 64;
+  ProcessSet candidate(n), of = ProcessSet::full(n);
+  for (ProcessId p = 0; p < n; ++p) {
+    if (rng.chance(0.6)) candidate.insert(p);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(is_subquorum(candidate, of));
+  }
+}
+BENCHMARK(BM_Subquorum);
+
+void BM_ProtocolRound(benchmark::State& state) {
+  // One full state-exchange round at 64 processes: partition, then measure
+  // the dominant round (everyone's state delivered to everyone).
+  for (auto _ : state) {
+    state.PauseTiming();
+    Gcs gcs(AlgorithmKind::kYkd, 64);
+    gcs.apply_partition(0, ProcessSet(64, {60, 61, 62, 63}));
+    gcs.step_round();  // states queued
+    state.ResumeTiming();
+    gcs.step_round();  // 64x64 deliveries + decisions
+  }
+}
+BENCHMARK(BM_ProtocolRound)->Unit(benchmark::kMicrosecond);
+
+void BM_FullRun(benchmark::State& state) {
+  const auto kind = static_cast<AlgorithmKind>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    SimulationConfig config;
+    config.algorithm = kind;
+    config.processes = 64;
+    config.changes_per_run = 6;
+    config.mean_rounds_between_changes = 4.0;
+    config.seed = seed++;
+    Simulation sim(config);
+    benchmark::DoNotOptimize(sim.run_once().primary_at_end);
+  }
+}
+BENCHMARK(BM_FullRun)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(static_cast<int>(AlgorithmKind::kYkd))
+    ->Arg(static_cast<int>(AlgorithmKind::kDfls))
+    ->Arg(static_cast<int>(AlgorithmKind::kOnePending))
+    ->Arg(static_cast<int>(AlgorithmKind::kMr1p))
+    ->Arg(static_cast<int>(AlgorithmKind::kSimpleMajority));
+
+void BM_FullRunNoInvariantChecks(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    SimulationConfig config;
+    config.algorithm = AlgorithmKind::kYkd;
+    config.processes = 64;
+    config.changes_per_run = 6;
+    config.mean_rounds_between_changes = 4.0;
+    config.seed = seed++;
+    config.check_invariants = false;
+    Simulation sim(config);
+    benchmark::DoNotOptimize(sim.run_once().primary_at_end);
+  }
+}
+BENCHMARK(BM_FullRunNoInvariantChecks)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dynvote
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// Reproduces the thesis §4.1 scaling observation: "We also ran the same
+// tests with 32 and 48 processes...  The results obtained with 32 and 48
+// processes were almost identical to those obtained with 64."
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace dynvote;
+  using namespace dynvote::bench;
+
+  const std::vector<std::size_t> sizes = {32, 48, 64};
+  const std::vector<double> rates = {0, 2, 4, 8, 12};
+  const std::uint64_t runs = default_runs();
+  const std::uint64_t seed = seed_from_env(0x5eed);
+
+  std::cout << "== Availability vs system size (6 fresh-start changes, "
+            << runs << " runs per case) ==\n"
+            << "Thesis: results at 32 and 48 processes are almost identical "
+               "to 64.\n";
+
+  for (AlgorithmKind kind :
+       {AlgorithmKind::kYkd, AlgorithmKind::kOnePending,
+        AlgorithmKind::kSimpleMajority}) {
+    std::cout << "\n-- " << to_string(kind) << " --\n";
+    std::vector<std::string> headers{"rounds between changes"};
+    for (std::size_t n : sizes) {
+      headers.push_back(std::to_string(n) + " procs");
+    }
+    headers.emplace_back("max spread");
+    TextTable table(headers);
+
+    for (double rate : rates) {
+      std::vector<std::string> row{format_double(rate, 0)};
+      double lo = 100.0, hi = 0.0;
+      for (std::size_t n : sizes) {
+        CaseSpec spec;
+        spec.algorithm = kind;
+        spec.processes = n;
+        spec.changes = 6;
+        spec.mean_rounds = rate;
+        spec.runs = runs;
+        spec.base_seed = seed;
+        const double availability = run_case(spec).availability_percent();
+        lo = std::min(lo, availability);
+        hi = std::max(hi, availability);
+        row.push_back(format_double(availability));
+      }
+      row.push_back(format_double(hi - lo));
+      table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+#include "core/dfls.hpp"
+
+namespace dynvote {
+
+Dfls::Dfls(ProcessId self, const View& initial_view)
+    : YkdFamilyBase(self, initial_view, PruneMode::kGlobalSuperseded,
+                    /*filter_constraints=*/false),
+      gc_received_(initial_view.members.universe_size()) {}
+
+void Dfls::view_changed(const View& view) {
+  // Interrupted before the GC round completed: the ambiguous sessions stay.
+  gc_pending_ = false;
+  gc_received_.clear();
+  YkdFamilyBase::view_changed(view);
+}
+
+void Dfls::on_primary_formed() {
+  // Keep the ambiguous sessions for one more exchange round in the newly
+  // formed primary.
+  gc_pending_ = true;
+  gc_number_ = last_primary_.number;
+  gc_received_.clear();
+
+  auto gc = std::make_shared<GcRoundPayload>();
+  gc->formed_number = gc_number_;
+  stage(std::move(gc));
+}
+
+void Dfls::handle_extra_payload(const ProtocolPayload& payload,
+                                ProcessId sender) {
+  if (payload.type() != PayloadType::kGcRound || !gc_pending_) return;
+  const auto& gc = static_cast<const GcRoundPayload&>(payload);
+  if (gc.formed_number != gc_number_) return;
+  gc_received_.insert(sender);
+  if (gc_received_ == current_view().members) {
+    ambiguous_.clear();
+    gc_pending_ = false;
+  }
+}
+
+}  // namespace dynvote

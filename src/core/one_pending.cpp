@@ -1,0 +1,52 @@
+#include "core/one_pending.hpp"
+
+#include <vector>
+
+namespace dynvote {
+
+OnePending::OnePending(ProcessId self, const View& initial_view)
+    : YkdFamilyBase(self, initial_view, PruneMode::kFull) {}
+
+bool OnePending::allow_attempt(const CombinedKnowledge& /*knowledge*/,
+                               const StateMap& states) {
+  // The group may attempt only if no member is left with a pending session
+  // after resolution.  Every member evaluates this on the identical
+  // combined state, so the answer is the same everywhere (formation needs
+  // an attempt from everyone, so a split answer could never form anyway).
+  //
+  // A member m's session S counts as resolved when either
+  //  * a formed session containing m with a higher number exists (m will
+  //    adopt it and delete S -- the thesis's ACCEPT + DELETE), or
+  //  * every member of S is present and none formed it.
+  const std::size_t universe = initial_view_.members.universe_size();
+
+  // best_for[m]: highest-numbered formed session containing m, per the
+  // combined state.  One pass over states: lastPrimary covers its members,
+  // lastFormed(m) covers m.
+  std::vector<Session> best_for(universe, Session{0, initial_view_.members});
+  for (const auto& [q, state] : states) {
+    state->last_primary.members.for_each([&](ProcessId m) {
+      if (session_precedes(best_for[m], state->last_primary)) {
+        best_for[m] = state->last_primary;
+      }
+    });
+    for (ProcessId m = 0; m < state->last_formed.size(); ++m) {
+      const Session& lf = state->last_formed[m];
+      if (lf.members.contains(m) && session_precedes(best_for[m], lf)) {
+        best_for[m] = lf;
+      }
+    }
+  }
+
+  for (const auto& [m, state] : states) {
+    for (const Session& s : state->ambiguous) {
+      if (s.number <= best_for[m].number) continue;        // will be adopted past S
+      if (provably_unformed(s, states)) continue;          // witnessed dead
+      blocked_ = true;
+      return false;  // m is still pending on S: the group blocks
+    }
+  }
+  return true;
+}
+
+}  // namespace dynvote

@@ -1,0 +1,195 @@
+#include "core/payload.hpp"
+
+#include "util/assert.hpp"
+
+namespace dynvote {
+
+namespace {
+
+void encode_session_vector(Encoder& enc, const std::vector<Session>& sessions) {
+  enc.put_varint(sessions.size());
+  for (const Session& s : sessions) s.encode(enc);
+}
+
+std::vector<Session> decode_session_vector(Decoder& dec) {
+  const std::uint64_t n = dec.get_varint();
+  if (n > 100'000) throw DecodeError("implausible session vector length");
+  std::vector<Session> out;
+  out.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) out.push_back(Session::decode(dec));
+  return out;
+}
+
+Mr1pStatus decode_status(Decoder& dec) {
+  const auto raw = dec.get_u8();
+  if (raw > static_cast<std::uint8_t>(Mr1pStatus::kTryFail)) {
+    throw DecodeError("bad Mr1pStatus");
+  }
+  return static_cast<Mr1pStatus>(raw);
+}
+
+Mr1pVerdict decode_verdict(Decoder& dec) {
+  const auto raw = dec.get_u8();
+  if (raw < static_cast<std::uint8_t>(Mr1pVerdict::kFormed) ||
+      raw > static_cast<std::uint8_t>(Mr1pVerdict::kStatusTryFail)) {
+    throw DecodeError("bad Mr1pVerdict");
+  }
+  return static_cast<Mr1pVerdict>(raw);
+}
+
+}  // namespace
+
+void StateExchangePayload::encode_body(Encoder& enc) const {
+  enc.put_varint(session_number);
+  last_primary.encode(enc);
+  encode_session_vector(enc, ambiguous);
+  encode_session_vector(enc, last_formed);
+}
+
+std::shared_ptr<StateExchangePayload> StateExchangePayload::decode_body(Decoder& dec) {
+  auto p = std::make_shared<StateExchangePayload>();
+  p->session_number = dec.get_varint();
+  p->last_primary = Session::decode(dec);
+  p->ambiguous = decode_session_vector(dec);
+  p->last_formed = decode_session_vector(dec);
+  return p;
+}
+
+void AttemptPayload::encode_body(Encoder& enc) const { proposal.encode(enc); }
+
+std::shared_ptr<AttemptPayload> AttemptPayload::decode_body(Decoder& dec) {
+  auto p = std::make_shared<AttemptPayload>();
+  p->proposal = Session::decode(dec);
+  return p;
+}
+
+void GcRoundPayload::encode_body(Encoder& enc) const {
+  enc.put_varint(formed_number);
+}
+
+std::shared_ptr<GcRoundPayload> GcRoundPayload::decode_body(Decoder& dec) {
+  auto p = std::make_shared<GcRoundPayload>();
+  p->formed_number = dec.get_varint();
+  return p;
+}
+
+void Mr1pPendingPayload::encode_body(Encoder& enc) const {
+  enc.put_bool(has_pending);
+  pending.encode(enc);
+  enc.put_varint(num);
+  enc.put_u8(static_cast<std::uint8_t>(status));
+}
+
+std::shared_ptr<Mr1pPendingPayload> Mr1pPendingPayload::decode_body(Decoder& dec) {
+  auto p = std::make_shared<Mr1pPendingPayload>();
+  p->has_pending = dec.get_bool();
+  p->pending = Session::decode(dec);
+  p->num = dec.get_varint();
+  p->status = decode_status(dec);
+  return p;
+}
+
+void Mr1pReplyPayload::encode_body(Encoder& enc) const {
+  enc.put_varint(replies.size());
+  for (const Mr1pReplyItem& r : replies) {
+    r.about.encode(enc);
+    enc.put_u8(static_cast<std::uint8_t>(r.verdict));
+    enc.put_varint(r.num);
+  }
+}
+
+std::shared_ptr<Mr1pReplyPayload> Mr1pReplyPayload::decode_body(Decoder& dec) {
+  auto p = std::make_shared<Mr1pReplyPayload>();
+  const std::uint64_t n = dec.get_varint();
+  if (n > 100'000) throw DecodeError("implausible reply count");
+  p->replies.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Mr1pReplyItem r;
+    r.about = Session::decode(dec);
+    r.verdict = decode_verdict(dec);
+    r.num = dec.get_varint();
+    p->replies.push_back(std::move(r));
+  }
+  return p;
+}
+
+void Mr1pResolvePayload::encode_body(Encoder& enc) const {
+  about.encode(enc);
+  enc.put_u8(static_cast<std::uint8_t>(call));
+}
+
+std::shared_ptr<Mr1pResolvePayload> Mr1pResolvePayload::decode_body(Decoder& dec) {
+  auto p = std::make_shared<Mr1pResolvePayload>();
+  p->about = Session::decode(dec);
+  p->call = decode_verdict(dec);
+  return p;
+}
+
+void Mr1pProposePayload::encode_body(Encoder& enc) const { proposal.encode(enc); }
+
+std::shared_ptr<Mr1pProposePayload> Mr1pProposePayload::decode_body(Decoder& dec) {
+  auto p = std::make_shared<Mr1pProposePayload>();
+  p->proposal = Session::decode(dec);
+  return p;
+}
+
+void Mr1pAttemptPayload::encode_body(Encoder& enc) const { proposal.encode(enc); }
+
+std::shared_ptr<Mr1pAttemptPayload> Mr1pAttemptPayload::decode_body(Decoder& dec) {
+  auto p = std::make_shared<Mr1pAttemptPayload>();
+  p->proposal = Session::decode(dec);
+  return p;
+}
+
+std::vector<std::byte> encode_payload(const ProtocolPayload& payload) {
+  Encoder enc;
+  enc.put_u8(static_cast<std::uint8_t>(payload.type()));
+  enc.put_varint(payload.view_id);
+  payload.encode_body(enc);
+  return enc.take();
+}
+
+PayloadPtr decode_payload(std::span<const std::byte> bytes) {
+  Decoder dec(bytes);
+  const auto raw_type = dec.get_u8();
+  const ViewId view_id = dec.get_varint();
+
+  std::shared_ptr<ProtocolPayload> payload;
+  switch (static_cast<PayloadType>(raw_type)) {
+    case PayloadType::kStateExchange:
+      payload = StateExchangePayload::decode_body(dec);
+      break;
+    case PayloadType::kAttempt:
+      payload = AttemptPayload::decode_body(dec);
+      break;
+    case PayloadType::kGcRound:
+      payload = GcRoundPayload::decode_body(dec);
+      break;
+    case PayloadType::kMr1pPending:
+      payload = Mr1pPendingPayload::decode_body(dec);
+      break;
+    case PayloadType::kMr1pReply:
+      payload = Mr1pReplyPayload::decode_body(dec);
+      break;
+    case PayloadType::kMr1pResolve:
+      payload = Mr1pResolvePayload::decode_body(dec);
+      break;
+    case PayloadType::kMr1pPropose:
+      payload = Mr1pProposePayload::decode_body(dec);
+      break;
+    case PayloadType::kMr1pAttempt:
+      payload = Mr1pAttemptPayload::decode_body(dec);
+      break;
+    default:
+      throw DecodeError("unknown payload type");
+  }
+  payload->view_id = view_id;
+  dec.finish();
+  return payload;
+}
+
+std::size_t payload_wire_size(const ProtocolPayload& payload) {
+  return encode_payload(payload).size();
+}
+
+}  // namespace dynvote

@@ -1,0 +1,185 @@
+// Protocol payloads piggybacked onto application messages.
+//
+// Every payload echoes the ViewId of the view it was sent in; receivers
+// discard payloads from views other than their current one (a real
+// view-synchronous GCS makes cross-view leakage rare, but the partial
+// flush performed on a partition delivers old-view traffic, and protocol
+// state machines must never act on stale rounds).
+//
+// Payloads travel inside the simulator as shared pointers, but each one has
+// a binary wire form (type byte + view id + body) so message sizes can be
+// measured -- the thesis reports protocol state staying under ~2 KB at 64
+// processes -- and so the library can be bound to a real transport.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/session.hpp"
+#include "core/types.hpp"
+#include "util/codec.hpp"
+
+namespace dynvote {
+
+enum class PayloadType : std::uint8_t {
+  /// Round 1 of the YKD family: full state exchange.
+  kStateExchange = 1,
+  /// Round 2 of the YKD family: commitment to form the proposed primary.
+  kAttempt = 2,
+  /// DFLS round 3: permission to garbage-collect ambiguous sessions.
+  kGcRound = 3,
+  /// MR1p round 1: a process's single pending ambiguous session.
+  kMr1pPending = 4,
+  /// MR1p round 2: what the sender knows about someone's pending session.
+  kMr1pReply = 5,
+  /// MR1p round 3: the sender's call on how its pending session resolves.
+  kMr1pResolve = 6,
+  /// MR1p round 4: request to declare the current view a primary (<V,1>).
+  kMr1pPropose = 7,
+  /// MR1p round 5: attempt message (<attempt,V>).
+  kMr1pAttempt = 8,
+};
+
+/// Abstract piggybacked payload.
+struct ProtocolPayload {
+  ViewId view_id = 0;
+
+  virtual ~ProtocolPayload() = default;
+  virtual PayloadType type() const = 0;
+  /// Encode everything after the (type, view_id) envelope header.
+  virtual void encode_body(Encoder& enc) const = 0;
+};
+
+using PayloadPtr = std::shared_ptr<const ProtocolPayload>;
+
+/// Round 1 of YKD / unoptimized YKD / DFLS / 1-pending: "the processes
+/// exchange all of their internal state -- sending each other their
+/// ambiguous sessions, last primary components, and so on" (thesis §3.1).
+struct StateExchangePayload final : ProtocolPayload {
+  SessionNumber session_number = 0;
+  Session last_primary;
+  std::vector<Session> ambiguous;
+  /// lastFormed(q) for q = 0..universe-1: the last primary the sender formed
+  /// that included q.  Indexed by process id over the initial universe.
+  std::vector<Session> last_formed;
+
+  PayloadType type() const override { return PayloadType::kStateExchange; }
+  void encode_body(Encoder& enc) const override;
+  static std::shared_ptr<StateExchangePayload> decode_body(Decoder& dec);
+};
+
+/// Round 2 of the YKD family: the sender commits to the proposed session.
+struct AttemptPayload final : ProtocolPayload {
+  Session proposal;
+
+  PayloadType type() const override { return PayloadType::kAttempt; }
+  void encode_body(Encoder& enc) const override;
+  static std::shared_ptr<AttemptPayload> decode_body(Decoder& dec);
+};
+
+/// DFLS's extra round: once received from every member of the formed
+/// primary, ambiguous sessions may be deleted.
+struct GcRoundPayload final : ProtocolPayload {
+  SessionNumber formed_number = 0;
+
+  PayloadType type() const override { return PayloadType::kGcRound; }
+  void encode_body(Encoder& enc) const override;
+  static std::shared_ptr<GcRoundPayload> decode_body(Decoder& dec);
+};
+
+/// Where an MR1p process stands in its attempt to form its pending view.
+enum class Mr1pStatus : std::uint8_t {
+  kNone = 0,
+  /// Sent the <V,1> proposal; has not seen it acknowledged by everyone.
+  kSent = 1,
+  /// Saw <V,1> from all members and sent the attempt message.
+  kAttempt = 2,
+  /// Concluded the attempt failed.
+  kTryFail = 3,
+};
+
+/// MR1p round 1: the sender's pending ambiguous session plus its progress.
+struct Mr1pPendingPayload final : ProtocolPayload {
+  /// Whether the sender has a pending session at all (processes with none
+  /// still participate in the exchange so peers can count responses).
+  bool has_pending = false;
+  Session pending;
+  std::uint64_t num = 0;
+  Mr1pStatus status = Mr1pStatus::kNone;
+
+  PayloadType type() const override { return PayloadType::kMr1pPending; }
+  void encode_body(Encoder& enc) const override;
+  static std::shared_ptr<Mr1pPendingPayload> decode_body(Decoder& dec);
+};
+
+/// What a responder knows about a queried pending session.
+enum class Mr1pVerdict : std::uint8_t {
+  /// The responder has the session in its formedViews: it was formed.
+  kFormed = 1,
+  /// The responder is a member, has moved past it, and never formed it.
+  kAborted = 2,
+  /// The responder echoes its own in-progress status for the session.
+  kStatusSent = 3,
+  kStatusAttempt = 4,
+  kStatusTryFail = 5,
+};
+
+/// One reply about one queried pending session.
+struct Mr1pReplyItem {
+  Session about;
+  Mr1pVerdict verdict = Mr1pVerdict::kAborted;
+  std::uint64_t num = 0;
+
+  bool operator==(const Mr1pReplyItem&) const = default;
+};
+
+/// MR1p round 2: replies about every distinct pending session the sender was
+/// queried on in round 1, batched into one multicast (one poll emits one
+/// message, so per-session unicasts would serialize into extra rounds).
+struct Mr1pReplyPayload final : ProtocolPayload {
+  std::vector<Mr1pReplyItem> replies;
+
+  PayloadType type() const override { return PayloadType::kMr1pReply; }
+  void encode_body(Encoder& enc) const override;
+  static std::shared_ptr<Mr1pReplyPayload> decode_body(Decoder& dec);
+};
+
+/// MR1p round 3: the sender's call on how its pending session resolves.
+struct Mr1pResolvePayload final : ProtocolPayload {
+  Session about;
+  Mr1pVerdict call = Mr1pVerdict::kStatusTryFail;
+
+  PayloadType type() const override { return PayloadType::kMr1pResolve; }
+  void encode_body(Encoder& enc) const override;
+  static std::shared_ptr<Mr1pResolvePayload> decode_body(Decoder& dec);
+};
+
+/// MR1p round 4: <V,1> -- request to declare the current view a primary.
+struct Mr1pProposePayload final : ProtocolPayload {
+  Session proposal;
+
+  PayloadType type() const override { return PayloadType::kMr1pPropose; }
+  void encode_body(Encoder& enc) const override;
+  static std::shared_ptr<Mr1pProposePayload> decode_body(Decoder& dec);
+};
+
+/// MR1p round 5: <attempt,V>.
+struct Mr1pAttemptPayload final : ProtocolPayload {
+  Session proposal;
+
+  PayloadType type() const override { return PayloadType::kMr1pAttempt; }
+  void encode_body(Encoder& enc) const override;
+  static std::shared_ptr<Mr1pAttemptPayload> decode_body(Decoder& dec);
+};
+
+/// Serialize a payload: type byte, view id, then the body.
+std::vector<std::byte> encode_payload(const ProtocolPayload& payload);
+
+/// Inverse of encode_payload; throws DecodeError on malformed input.
+PayloadPtr decode_payload(std::span<const std::byte> bytes);
+
+/// Encoded size in bytes without materializing a copy for the caller.
+std::size_t payload_wire_size(const ProtocolPayload& payload);
+
+}  // namespace dynvote

@@ -1,0 +1,180 @@
+#include "core/process_set.hpp"
+
+#include <bit>
+
+#include "util/assert.hpp"
+#include "util/codec.hpp"
+
+namespace dynvote {
+
+namespace {
+std::size_t words_for(std::size_t universe_size) {
+  return (universe_size + 63) / 64;
+}
+}  // namespace
+
+ProcessSet::ProcessSet(std::size_t universe_size)
+    : universe_size_(universe_size), words_(words_for(universe_size), 0) {}
+
+ProcessSet::ProcessSet(std::size_t universe_size,
+                       std::initializer_list<ProcessId> ids)
+    : ProcessSet(universe_size) {
+  for (ProcessId id : ids) insert(id);
+}
+
+ProcessSet ProcessSet::full(std::size_t universe_size) {
+  ProcessSet s(universe_size);
+  for (std::size_t w = 0; w < s.words_.size(); ++w) s.words_[w] = ~0ULL;
+  const std::size_t tail = universe_size % 64;
+  if (tail != 0 && !s.words_.empty()) {
+    s.words_.back() = (1ULL << tail) - 1;
+  }
+  return s;
+}
+
+std::size_t ProcessSet::count() const {
+  std::size_t n = 0;
+  for (std::uint64_t w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+void ProcessSet::check_id(ProcessId id) const {
+  DV_REQUIRE(id < universe_size_, "process id outside the set's universe");
+}
+
+void ProcessSet::check_same_universe(const ProcessSet& other) const {
+  DV_REQUIRE(universe_size_ == other.universe_size_,
+             "set operation across different universes");
+}
+
+bool ProcessSet::contains(ProcessId id) const {
+  if (id >= universe_size_) return false;
+  return (words_[id / 64] >> (id % 64)) & 1;
+}
+
+void ProcessSet::insert(ProcessId id) {
+  check_id(id);
+  words_[id / 64] |= (1ULL << (id % 64));
+}
+
+void ProcessSet::erase(ProcessId id) {
+  check_id(id);
+  words_[id / 64] &= ~(1ULL << (id % 64));
+}
+
+void ProcessSet::clear() {
+  for (auto& w : words_) w = 0;
+}
+
+ProcessId ProcessSet::lowest() const {
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w] != 0) {
+      return static_cast<ProcessId>(
+          w * 64 + static_cast<std::size_t>(std::countr_zero(words_[w])));
+    }
+  }
+  return kInvalidProcess;
+}
+
+std::size_t ProcessSet::intersection_count(const ProcessSet& other) const {
+  check_same_universe(other);
+  std::size_t n = 0;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    n += static_cast<std::size_t>(std::popcount(words_[w] & other.words_[w]));
+  }
+  return n;
+}
+
+bool ProcessSet::is_subset_of(const ProcessSet& other) const {
+  check_same_universe(other);
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    if ((words_[w] & ~other.words_[w]) != 0) return false;
+  }
+  return true;
+}
+
+bool ProcessSet::intersects(const ProcessSet& other) const {
+  check_same_universe(other);
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    if ((words_[w] & other.words_[w]) != 0) return true;
+  }
+  return false;
+}
+
+ProcessSet ProcessSet::united_with(const ProcessSet& other) const {
+  check_same_universe(other);
+  ProcessSet out = *this;
+  for (std::size_t w = 0; w < words_.size(); ++w) out.words_[w] |= other.words_[w];
+  return out;
+}
+
+ProcessSet ProcessSet::intersected_with(const ProcessSet& other) const {
+  check_same_universe(other);
+  ProcessSet out = *this;
+  for (std::size_t w = 0; w < words_.size(); ++w) out.words_[w] &= other.words_[w];
+  return out;
+}
+
+ProcessSet ProcessSet::minus(const ProcessSet& other) const {
+  check_same_universe(other);
+  ProcessSet out = *this;
+  for (std::size_t w = 0; w < words_.size(); ++w) out.words_[w] &= ~other.words_[w];
+  return out;
+}
+
+int ProcessSet::compare(const ProcessSet& other) const {
+  check_same_universe(other);
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w] != other.words_[w]) {
+      return words_[w] < other.words_[w] ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+std::vector<ProcessId> ProcessSet::members() const {
+  std::vector<ProcessId> out;
+  out.reserve(count());
+  for_each([&](ProcessId id) { out.push_back(id); });
+  return out;
+}
+
+std::string ProcessSet::to_string() const {
+  std::string out = "{";
+  bool first = true;
+  for_each([&](ProcessId id) {
+    if (!first) out += ',';
+    out += std::to_string(id);
+    first = false;
+  });
+  out += '}';
+  return out;
+}
+
+void ProcessSet::encode(Encoder& enc) const {
+  enc.put_varint(universe_size_);
+  for (std::uint64_t w : words_) enc.put_u64_fixed(w);
+}
+
+ProcessSet ProcessSet::decode(Decoder& dec) {
+  const std::uint64_t universe = dec.get_varint();
+  if (universe > 1'000'000) throw DecodeError("implausible universe size");
+  ProcessSet s(static_cast<std::size_t>(universe));
+  for (auto& w : s.words_) w = dec.get_u64_fixed();
+  const std::size_t tail = s.universe_size_ % 64;
+  if (tail != 0 && !s.words_.empty() &&
+      (s.words_.back() >> tail) != 0) {
+    throw DecodeError("bits set outside the universe");
+  }
+  return s;
+}
+
+std::size_t ProcessSet::hash() const {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL ^ universe_size_;
+  for (std::uint64_t w : words_) {
+    h ^= w + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return static_cast<std::size_t>(h);
+}
+
+}  // namespace dynvote

@@ -1,0 +1,110 @@
+// A set of processes, stored as a bitmap.
+//
+// The thesis notes an ambiguous session costs "roughly 2n bits" for an
+// n-process system: a membership bitmap plus a number.  ProcessSet is that
+// bitmap -- a fixed-universe dynamic bitset with the set algebra the quorum
+// rules need (intersection counting, subset tests, lowest member for the
+// lexical tie-break).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace dynvote {
+
+class Encoder;
+class Decoder;
+
+class ProcessSet {
+ public:
+  /// Empty set over a universe of `universe_size` processes (ids
+  /// 0..universe_size-1).  A default-constructed set has universe 0 and is
+  /// only useful as a placeholder before assignment.
+  ProcessSet() = default;
+  explicit ProcessSet(std::size_t universe_size);
+  ProcessSet(std::size_t universe_size, std::initializer_list<ProcessId> ids);
+
+  /// The full set {0, ..., universe_size-1}.
+  static ProcessSet full(std::size_t universe_size);
+
+  std::size_t universe_size() const { return universe_size_; }
+
+  /// Number of members.
+  std::size_t count() const;
+  bool empty() const { return count() == 0; }
+
+  bool contains(ProcessId id) const;
+  void insert(ProcessId id);
+  void erase(ProcessId id);
+  void clear();
+
+  /// Lowest-numbered member ("lexically smallest" in the thesis);
+  /// kInvalidProcess if empty.
+  ProcessId lowest() const;
+
+  /// Number of members shared with `other` (same universe required).
+  std::size_t intersection_count(const ProcessSet& other) const;
+
+  bool is_subset_of(const ProcessSet& other) const;
+  bool intersects(const ProcessSet& other) const;
+
+  ProcessSet united_with(const ProcessSet& other) const;
+  ProcessSet intersected_with(const ProcessSet& other) const;
+  /// Members of *this that are not in `other`.
+  ProcessSet minus(const ProcessSet& other) const;
+
+  /// Members in ascending id order.
+  std::vector<ProcessId> members() const;
+
+  /// Invoke `fn(ProcessId)` for every member in ascending order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w];
+      while (word != 0) {
+        const int bit = __builtin_ctzll(word);
+        fn(static_cast<ProcessId>(w * 64 + static_cast<std::size_t>(bit)));
+        word &= word - 1;
+      }
+    }
+  }
+
+  bool operator==(const ProcessSet& other) const = default;
+
+  /// Three-way comparison giving an arbitrary but fixed total order over
+  /// sets of the same universe (used to break session-number ties the same
+  /// way at every process).  Returns <0, 0, >0.
+  int compare(const ProcessSet& other) const;
+
+  /// Render as "{0,1,5}" for logs and test failures.
+  std::string to_string() const;
+
+  /// Wire format: varint universe size + raw words.
+  void encode(Encoder& enc) const;
+  static ProcessSet decode(Decoder& dec);
+
+  /// Stable hash usable as a key component.
+  std::size_t hash() const;
+
+ private:
+  void check_id(ProcessId id) const;
+  void check_same_universe(const ProcessSet& other) const;
+
+  std::size_t universe_size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace dynvote
+
+template <>
+struct std::hash<dynvote::ProcessSet> {
+  std::size_t operator()(const dynvote::ProcessSet& s) const {
+    return s.hash();
+  }
+};

@@ -1,0 +1,20 @@
+// Dynamic linear voting quorum rules (thesis §3, Figure 3-4).
+//
+// SUBQUORUM(X, Y): X is a subquorum of Y iff more than half of Y's members
+// are in X, or exactly half are and the lexically smallest member of Y is
+// among them.  The tie-break makes dynamic *linear* voting admit a group
+// containing exactly half of the previous primary.
+#pragma once
+
+#include "core/process_set.hpp"
+
+namespace dynvote {
+
+/// Strict majority: |X ∩ Y| > |Y| / 2.
+bool is_majority_of(const ProcessSet& candidate, const ProcessSet& of);
+
+/// Dynamic linear voting subquorum test, including the exact-half lexical
+/// tie-break.  `of` must be non-empty.
+bool is_subquorum(const ProcessSet& candidate, const ProcessSet& of);
+
+}  // namespace dynvote

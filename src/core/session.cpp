@@ -1,0 +1,28 @@
+#include "core/session.hpp"
+
+#include "util/codec.hpp"
+
+namespace dynvote {
+
+std::string Session::to_string() const {
+  return "session#" + std::to_string(number) + members.to_string();
+}
+
+void Session::encode(Encoder& enc) const {
+  enc.put_varint(number);
+  members.encode(enc);
+}
+
+Session Session::decode(Decoder& dec) {
+  Session s;
+  s.number = dec.get_varint();
+  s.members = ProcessSet::decode(dec);
+  return s;
+}
+
+bool session_precedes(const Session& a, const Session& b) {
+  if (a.number != b.number) return a.number < b.number;
+  return a.members.compare(b.members) < 0;
+}
+
+}  // namespace dynvote

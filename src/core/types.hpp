@@ -1,0 +1,26 @@
+// Fundamental identifiers shared across the library.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace dynvote {
+
+/// Identifies one process in the system.  Ids are dense: a system of n
+/// processes uses ids 0..n-1.  The id doubles as the "lexical" order used by
+/// dynamic linear voting's tie-break (the thesis permits any convenient
+/// deterministic order, e.g. IP address + pid; dense ids are ours).
+using ProcessId = std::uint32_t;
+
+inline constexpr ProcessId kInvalidProcess =
+    std::numeric_limits<ProcessId>::max();
+
+/// Monotone identifier assigned by the group communication service to each
+/// installed view.  Unique system-wide within one simulation.
+using ViewId = std::uint64_t;
+
+/// Session numbers order attempts to form primary components (the thesis's
+/// `sessionNumber`).
+using SessionNumber = std::uint64_t;
+
+}  // namespace dynvote

@@ -1,0 +1,11 @@
+#include "core/ykd.hpp"
+
+namespace dynvote {
+
+Ykd::Ykd(ProcessId self, const View& initial_view, YkdOptions options)
+    : YkdFamilyBase(self, initial_view,
+                    options.optimized ? PruneMode::kFull
+                                      : PruneMode::kUnformedOnly),
+      optimized_(options.optimized) {}
+
+}  // namespace dynvote

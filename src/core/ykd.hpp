@@ -1,0 +1,35 @@
+// YKD: the dynamic voting algorithm of Yeger Lotem, Keidar and Dolev
+// (PODC'97), the thesis's algorithm of principal study.
+//
+// Two message rounds; pipelines attempts (it keeps initiating new attempts
+// while earlier ones are still pending); can make progress even when some
+// pending sessions cannot be resolved, as long as the new view is a
+// subquorum of each of them.
+//
+// `optimized = false` yields the thesis's "unoptimized YKD": identical
+// decisions (and therefore identical availability -- verified by test), but
+// ambiguous sessions are only shed on a successful formation, so more of
+// them are stored and shipped (Figures 4-7/4-8).
+#pragma once
+
+#include "core/ykd_family.hpp"
+
+namespace dynvote {
+
+struct YkdOptions {
+  bool optimized = true;
+};
+
+class Ykd final : public YkdFamilyBase {
+ public:
+  Ykd(ProcessId self, const View& initial_view, YkdOptions options = {});
+
+  std::string_view name() const override {
+    return optimized_ ? "ykd" : "ykd-unoptimized";
+  }
+
+ private:
+  bool optimized_;
+};
+
+}  // namespace dynvote

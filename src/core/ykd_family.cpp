@@ -1,0 +1,245 @@
+#include "core/ykd_family.hpp"
+
+#include <algorithm>
+
+#include "core/quorum.hpp"
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+
+namespace dynvote {
+
+YkdFamilyBase::YkdFamilyBase(ProcessId self, const View& initial_view,
+                             PruneMode prune_mode, bool filter_constraints)
+    : PrimaryComponentAlgorithm(self, initial_view),
+      prune_mode_(prune_mode),
+      filter_constraints_(filter_constraints) {
+  const std::size_t universe = initial_view.members.universe_size();
+  const Session genesis{0, initial_view.members};
+  last_primary_ = genesis;
+  last_formed_.assign(universe, genesis);
+  current_view_ = initial_view;
+  attempts_received_ = ProcessSet(universe);
+}
+
+void YkdFamilyBase::view_changed(const View& view) {
+  DV_REQUIRE(view.members.contains(self_), "installed a view without self");
+  current_view_ = view;
+  in_primary_ = false;
+  blocked_ = false;
+  stage_ = Stage::kExchanging;
+  states_.clear();
+  attempts_received_.clear();
+  outbox_.clear();  // anything staged for the old view is stale
+
+  auto state = std::make_shared<StateExchangePayload>();
+  state->session_number = session_number_;
+  state->last_primary = last_primary_;
+  state->ambiguous = ambiguous_;
+  state->last_formed = last_formed_;
+  stage(std::move(state));
+}
+
+void YkdFamilyBase::stage(std::shared_ptr<ProtocolPayload> payload) {
+  DV_ASSERT(payload != nullptr);
+  payload->view_id = current_view_.id;
+  outbox_.push_back(std::move(payload));
+}
+
+Message YkdFamilyBase::incoming_message(Message message, ProcessId sender) {
+  PayloadPtr payload = std::move(message.protocol);
+  message.protocol = nullptr;
+  if (payload == nullptr) return message;
+
+  // Discard traffic from any view other than the current one.
+  if (payload->view_id != current_view_.id) return message;
+
+  switch (payload->type()) {
+    case PayloadType::kStateExchange: {
+      if (stage_ != Stage::kExchanging) break;  // stale duplicate round
+      DV_ASSERT_MSG(current_view_.members.contains(sender),
+                    "state from a non-member of the current view");
+      states_[sender] =
+          std::static_pointer_cast<const StateExchangePayload>(payload);
+      if (states_.size() == current_view_.members.count()) {
+        on_exchange_complete();
+      }
+      break;
+    }
+    case PayloadType::kAttempt: {
+      if (stage_ != Stage::kAttempting) break;
+      const auto& attempt = static_cast<const AttemptPayload&>(*payload);
+      if (attempt.proposal != proposed_) break;
+      attempts_received_.insert(sender);
+      if (attempts_received_ == current_view_.members) form_primary();
+      break;
+    }
+    default:
+      handle_extra_payload(*payload, sender);
+      break;
+  }
+  return message;
+}
+
+std::optional<Message> YkdFamilyBase::outgoing_message_poll(const Message& app) {
+  if (outbox_.empty()) return std::nullopt;
+  Message out = app;
+  out.protocol = outbox_.front();
+  outbox_.pop_front();
+  return out;
+}
+
+bool YkdFamilyBase::allow_attempt(const CombinedKnowledge& /*knowledge*/,
+                                  const StateMap& /*states*/) {
+  return true;
+}
+
+void YkdFamilyBase::on_primary_formed() { ambiguous_.clear(); }
+
+void YkdFamilyBase::handle_extra_payload(const ProtocolPayload& payload,
+                                         ProcessId /*sender*/) {
+  DV_LOG_DEBUG("ignoring payload type "
+               << static_cast<int>(payload.type()) << " at process " << self_);
+}
+
+CombinedKnowledge YkdFamilyBase::compute_combined() const {
+  CombinedKnowledge k;
+  k.max_primary = Session{0, initial_view_.members};
+
+  for (const auto& [q, state] : states_) {
+    k.max_session = std::max(k.max_session, state->session_number);
+    if (session_precedes(k.max_primary, state->last_primary)) {
+      k.max_primary = state->last_primary;
+    }
+  }
+
+  for (const auto& [q, state] : states_) {
+    for (const Session& s : state->ambiguous) {
+      if (filter_constraints_ && s.number <= k.max_primary.number) continue;
+      if (std::find(k.constraints.begin(), k.constraints.end(), s) !=
+          k.constraints.end()) {
+        continue;
+      }
+      if (filter_constraints_ && provably_unformed(s, states_)) continue;
+      k.constraints.push_back(s);
+    }
+  }
+  return k;
+}
+
+bool YkdFamilyBase::provably_unformed(const Session& s,
+                                      const StateMap& states) const {
+  // All members of S must be present to testify.
+  if (!s.members.is_subset_of(current_view_.members)) return false;
+
+  // A member m that formed S recorded lastFormed(q) = S for every q in S at
+  // formation time.  For any session that survived the maxPrimary.number
+  // filter, the entry for S's lowest member cannot have been overwritten:
+  // an overwriting formation F would satisfy F.number > S.number and raise
+  // m's lastPrimary past S, which would have filtered S out already.  So a
+  // single entry per member is a sound witness.
+  const ProcessId probe = s.members.lowest();
+  bool unformed = true;
+  s.members.for_each([&](ProcessId m) {
+    const auto it = states.find(m);
+    DV_ASSERT_MSG(it != states.end(), "member state missing after subset check");
+    const StateExchangePayload& st = *it->second;
+    if (st.last_primary == s) unformed = false;
+    if (probe < st.last_formed.size() && st.last_formed[probe] == s) {
+      unformed = false;
+    }
+  });
+  return unformed;
+}
+
+void YkdFamilyBase::on_exchange_complete() {
+  const CombinedKnowledge knowledge = compute_combined();
+
+  // RESOLVE / ACCEPT: adopt the highest-numbered formed session containing
+  // this process.  If q formed (or adopted) a session F with self in it,
+  // q's lastFormed(self) records the latest such F, so scanning each
+  // member's lastPrimary and lastFormed(self) finds the maximum.
+  Session best = last_primary_;
+  for (const auto& [q, state] : states_) {
+    const Session& lp = state->last_primary;
+    if (lp.members.contains(self_) && session_precedes(best, lp)) best = lp;
+    if (self_ < state->last_formed.size()) {
+      const Session& lf = state->last_formed[self_];
+      if (lf.members.contains(self_) && session_precedes(best, lf)) best = lf;
+    }
+  }
+  if (session_precedes(last_primary_, best)) {
+    last_primary_ = best;
+    best.members.for_each([&](ProcessId q) { last_formed_[q] = best; });
+  }
+
+  // RESOLVE / DELETE: shed stored ambiguous sessions per the variant's
+  // pruning mode.  (This never changes a *filtered* decision -- the pool is
+  // built from the received states and filtered the same way everywhere --
+  // it changes what is stored and shipped, and what an unfiltered decision
+  // like DFLS's is constrained by next time.)
+  switch (prune_mode_) {
+    case PruneMode::kFull:
+      std::erase_if(ambiguous_, [&](const Session& s) {
+        return s.number <= last_primary_.number ||
+               provably_unformed(s, states_);
+      });
+      break;
+    case PruneMode::kGlobalSuperseded:
+      std::erase_if(ambiguous_, [&](const Session& s) {
+        return s.number <= knowledge.max_primary.number;
+      });
+      break;
+    case PruneMode::kUnformedOnly:
+      std::erase_if(ambiguous_, [&](const Session& s) {
+        return provably_unformed(s, states_);
+      });
+      break;
+  }
+
+  // DECIDE (Figure 3-4): the new view must be a subquorum of maxPrimary and
+  // of every constraint session.
+  bool decide = is_subquorum(current_view_.members, knowledge.max_primary.members);
+  for (const Session& s : knowledge.constraints) {
+    if (!decide) break;
+    decide = decide && is_subquorum(current_view_.members, s.members);
+  }
+  if (decide && !allow_attempt(knowledge, states_)) {
+    blocked_ = true;
+    decide = false;
+  }
+
+  states_.clear();
+  if (!decide) {
+    stage_ = Stage::kIdle;
+    return;
+  }
+
+  session_number_ = knowledge.max_session + 1;
+  proposed_ = Session{session_number_, current_view_.members};
+  ambiguous_.push_back(proposed_);
+  stage_ = Stage::kAttempting;
+  attempts_received_.clear();
+
+  auto attempt = std::make_shared<AttemptPayload>();
+  attempt->proposal = proposed_;
+  stage(std::move(attempt));
+}
+
+void YkdFamilyBase::form_primary() {
+  last_primary_ = proposed_;
+  in_primary_ = true;
+  proposed_.members.for_each([&](ProcessId q) { last_formed_[q] = proposed_; });
+  stage_ = Stage::kIdle;
+  on_primary_formed();
+}
+
+AlgorithmDebugInfo YkdFamilyBase::debug_info() const {
+  AlgorithmDebugInfo info;
+  info.last_primary = last_primary_;
+  info.ambiguous_count = ambiguous_.size();
+  info.blocked = blocked_;
+  info.session_number = session_number_;
+  return info;
+}
+
+}  // namespace dynvote

@@ -1,0 +1,155 @@
+// Shared engine for the YKD family of dynamic voting algorithms.
+//
+// YKD, unoptimized YKD, DFLS and 1-pending all follow the same two-round
+// skeleton (thesis §3.1, Figures 3-2..3-4):
+//
+//   round 1  every member of the new view multicasts its full state
+//            (session counter, lastPrimary, ambiguous sessions, lastFormed);
+//   decide   once state from *every* member has arrived, each process runs
+//            the same deterministic LEARN / RESOLVE / COMPUTE / DECIDE on
+//            the identical combined knowledge;
+//   round 2  if the decision is to attempt, multicast an attempt message;
+//            the primary is formed once attempts from every member arrive.
+//
+// The variants differ only in (a) whether the storage-pruning optimization
+// runs (YKD yes, unoptimized/DFLS no), (b) when ambiguous sessions are
+// deleted after a successful formation (immediately vs. DFLS's extra
+// round), and (c) whether a pending ambiguous session blocks new attempts
+// (1-pending).  Those knobs are the virtual hooks below.
+//
+// Decision-time interpretation.  The thesis states the optimization "does
+// not provide additional information -- it merely helps remove redundant
+// information", and reports identical availability for YKD and unoptimized
+// YKD.  We realize that by construction: DECIDE always evaluates the
+// constraint pool from the *combined* received state --
+//
+//   pool = { S in union of everyone's ambiguous lists
+//            : S.number > maxPrimary.number }
+//          minus sessions provably never formed (every member of S is in
+//          the current view and none of their states records forming S)
+//
+// -- so pruning a process's *stored* list (which only removes sessions that
+// this filter would drop anyway) cannot change any decision.
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "core/algorithm.hpp"
+#include "core/payload.hpp"
+
+namespace dynvote {
+
+/// The deterministic summary every member computes from the round-1 states
+/// (the thesis's COMPUTE step plus the decision-time filtering).
+struct CombinedKnowledge {
+  SessionNumber max_session = 0;
+  /// Highest-numbered lastPrimary reported by any member.
+  Session max_primary;
+  /// maxAmbiguousSessions after filtering: the constraints a new primary
+  /// must be a subquorum of.
+  std::vector<Session> constraints;
+};
+
+class YkdFamilyBase : public PrimaryComponentAlgorithm {
+ public:
+  void view_changed(const View& view) override;
+  Message incoming_message(Message message, ProcessId sender) override;
+  std::optional<Message> outgoing_message_poll(const Message& app) override;
+  bool in_primary() const override { return in_primary_; }
+  AlgorithmDebugInfo debug_info() const override;
+  const Session& last_primary_session() const override { return last_primary_; }
+
+ protected:
+  using StateMap =
+      std::unordered_map<ProcessId,
+                         std::shared_ptr<const StateExchangePayload>>;
+
+  /// How a variant sheds stored ambiguous sessions between formations.
+  enum class PruneMode {
+    /// Full LEARN/DELETE optimization: drop sessions superseded by the
+    /// adopted primary and sessions provably never formed (YKD, 1-pending).
+    kFull,
+    /// Drop sessions superseded by the exchange's *global* maxPrimary --
+    /// the garbage collection a view-ordering protocol performs once any
+    /// newer primary is evidenced (DFLS).  Because DFLS decides on the
+    /// unfiltered pool, a stale session still constrains the one decision
+    /// made in the exchange that evidences its obsolescence, which is the
+    /// cost of DFLS's delayed deletion.
+    kGlobalSuperseded,
+    /// Drop only sessions proven never-formed by the LEARN evidence;
+    /// superseded sessions are kept until a formation succeeds
+    /// (unoptimized YKD).  Shedding learned-dead sessions is required for
+    /// the thesis's exact availability equivalence with YKD: a dead
+    /// session shipped to a later view where its members are gone could
+    /// otherwise pass the decision filter and block a formation YKD would
+    /// make.  Superseded sessions can never do that -- the superseding
+    /// process's own lastPrimary keeps the pool filter ahead of them.
+    kUnformedOnly,
+  };
+
+  /// `filter_constraints`: apply the COMPUTE filter (drop pool sessions at
+  /// or below maxPrimary, and sessions provably never formed) when
+  /// deciding.  YKD and unoptimized YKD filter -- which is why their
+  /// availability is identical by construction -- while DFLS does not: its
+  /// retained ambiguous sessions genuinely "act as constraints that limit
+  /// future primary component choices" (thesis §3.2.2), the source of its
+  /// availability deficit versus YKD.
+  YkdFamilyBase(ProcessId self, const View& initial_view, PruneMode prune_mode,
+                bool filter_constraints = true);
+
+  /// May this process start a new attempt given the combined knowledge?
+  /// 1-pending overrides this to refuse while any member has an unresolved
+  /// pending session.  Must be a deterministic function of the arguments:
+  /// every member evaluates it on identical inputs and formation requires
+  /// everyone to reach the same answer.
+  virtual bool allow_attempt(const CombinedKnowledge& knowledge,
+                             const StateMap& states);
+
+  /// Called when a primary component has just been formed (lastPrimary and
+  /// lastFormed already updated).  The default deletes all ambiguous
+  /// sessions immediately; DFLS instead starts its extra round.
+  virtual void on_primary_formed();
+
+  /// Hook for payload types the base does not know (DFLS's GC round).
+  virtual void handle_extra_payload(const ProtocolPayload& payload,
+                                    ProcessId sender);
+
+  /// Queue a protocol payload for the next poll, stamping it with the
+  /// current view id.
+  void stage(std::shared_ptr<ProtocolPayload> payload);
+
+  const View& current_view() const { return current_view_; }
+
+  /// Is there combined-state proof that S was never formed by any member?
+  bool provably_unformed(const Session& s, const StateMap& states) const;
+
+  // --- persistent algorithm state (thesis §3.1) ---
+  Session last_primary_;              // last primary formed or adopted
+  std::vector<Session> last_formed_;  // lastFormed(q), indexed by q
+  std::vector<Session> ambiguous_;    // pending ambiguous sessions
+  SessionNumber session_number_ = 0;
+  bool in_primary_ = true;            // everyone starts together: primary
+  bool blocked_ = false;              // set when allow_attempt refused
+
+  // --- per-view protocol state ---
+  View current_view_;
+
+ private:
+  enum class Stage { kIdle, kExchanging, kAttempting };
+
+  void on_exchange_complete();
+  void form_primary();
+  CombinedKnowledge compute_combined() const;
+
+  PruneMode prune_mode_;
+  bool filter_constraints_;
+  Stage stage_ = Stage::kIdle;
+  StateMap states_;
+  ProcessSet attempts_received_;
+  Session proposed_;
+  std::deque<PayloadPtr> outbox_;
+};
+
+}  // namespace dynvote

@@ -1,0 +1,177 @@
+#include "gcs/gcs.hpp"
+
+#include "util/assert.hpp"
+
+namespace dynvote {
+
+Gcs::Gcs(AlgorithmKind kind, std::size_t processes, GcsOptions options)
+    : Gcs(
+          [kind](ProcessId self, const View& initial_view) {
+            return make_algorithm(kind, self, initial_view);
+          },
+          processes, options) {}
+
+Gcs::Gcs(const AlgorithmFactory& factory, std::size_t processes,
+         GcsOptions options)
+    : options_(options), topology_(processes),
+      delivery_rng_(options.delivery_seed), crashed_(processes) {
+  DV_REQUIRE(processes >= 1, "need at least one process");
+  const View initial{1, ProcessSet::full(processes)};
+  algorithms_.reserve(processes);
+  installed_views_.assign(processes, initial);
+  for (ProcessId p = 0; p < processes; ++p) {
+    algorithms_.push_back(factory(p, initial));
+    DV_REQUIRE(algorithms_.back() != nullptr, "factory returned null");
+  }
+}
+
+PrimaryComponentAlgorithm& Gcs::algorithm(ProcessId id) {
+  DV_REQUIRE(id < algorithms_.size(), "process id out of range");
+  return *algorithms_[id];
+}
+
+const PrimaryComponentAlgorithm& Gcs::algorithm(ProcessId id) const {
+  DV_REQUIRE(id < algorithms_.size(), "process id out of range");
+  return *algorithms_[id];
+}
+
+const View& Gcs::view_of(ProcessId id) const {
+  DV_REQUIRE(id < installed_views_.size(), "process id out of range");
+  return installed_views_[id];
+}
+
+void Gcs::deliver(ProcessId recipient, const Message& message,
+                  ProcessId sender) {
+  // The application-side return value (the stripped message) is dropped:
+  // the simulated application has no payload traffic of its own.
+  (void)algorithms_[recipient]->incoming_message(message, sender);
+}
+
+void Gcs::record_send(const Message& message) {
+  ++wire_stats_.messages_sent;
+  if (message.has_protocol()) ++wire_stats_.protocol_messages_sent;
+  if (options_.measure_wire_sizes) {
+    const std::size_t bytes = message.wire_size();
+    wire_stats_.total_message_bytes += bytes;
+    if (bytes > wire_stats_.max_message_bytes) {
+      wire_stats_.max_message_bytes = bytes;
+    }
+  }
+}
+
+bool Gcs::step_round() {
+  const auto deliver_fn = [this](ProcessId r, const Message& m, ProcessId s) {
+    deliver(r, m, s);
+  };
+  const std::size_t deliveries = network_.deliver_all(deliver_fn);
+
+  std::size_t sends = 0;
+  for (ProcessId p = 0; p < algorithms_.size(); ++p) {
+    if (crashed_.contains(p)) continue;
+    auto out = algorithms_[p]->outgoing_message_poll(Message::empty());
+    if (!out.has_value()) continue;
+    record_send(*out);
+    if (options_.serialize_on_wire) {
+      *out = Message::parse(out->serialize());
+    }
+    const std::size_t comp = topology_.component_of(p);
+    network_.send(p, topology_.component(comp), std::move(*out));
+    ++sends;
+  }
+  return deliveries + sends > 0;
+}
+
+void Gcs::install_view(const ProcessSet& members) {
+  const View view{next_view_id_++, members};
+  members.for_each([&](ProcessId p) {
+    installed_views_[p] = view;
+    algorithms_[p]->view_changed(view);
+  });
+}
+
+void Gcs::apply_partition(std::size_t component_index, const ProcessSet& moved,
+                          const Network::CrossDeliveryFn& crosses) {
+  const ProcessSet component = topology_.component(component_index);
+  const ProcessSet remainder = component.minus(moved);
+  DV_REQUIRE(!moved.empty() && !remainder.empty(),
+             "partition must produce two non-empty sides");
+
+  const auto deliver_fn = [this](ProcessId r, const Message& m, ProcessId s) {
+    deliver(r, m, s);
+  };
+  const Network::CrossDeliveryFn coin = [this](ProcessId /*sender*/) {
+    return delivery_rng_.chance(0.5);
+  };
+  network_.flush_for_partition(component, remainder, moved, deliver_fn,
+                               crosses ? crosses : coin);
+  topology_.split(component_index, moved);
+  install_view(remainder);
+  install_view(moved);
+}
+
+void Gcs::apply_merge(std::size_t a, std::size_t b) {
+  const ProcessSet comp_a = topology_.component(a);
+  const ProcessSet comp_b = topology_.component(b);
+
+  const auto deliver_fn = [this](ProcessId r, const Message& m, ProcessId s) {
+    deliver(r, m, s);
+  };
+  network_.flush_for_merge(comp_a, deliver_fn);
+  network_.flush_for_merge(comp_b, deliver_fn);
+  topology_.merge(a, b);
+  install_view(comp_a.united_with(comp_b));
+}
+
+void Gcs::apply_crash(ProcessId p, const Network::CrossDeliveryFn& crosses) {
+  DV_REQUIRE(p < algorithms_.size(), "process id out of range");
+  DV_REQUIRE(!crashed_.contains(p), "process is already crashed");
+
+  const std::size_t index = topology_.component_of(p);
+  const ProcessSet component = topology_.component(index);
+  const ProcessSet survivors = component.minus(ProcessSet(
+      topology_.universe_size(), {p}));
+
+  // A dead process receives nothing; its own in-flight multicasts may
+  // still escape to the survivors.
+  const auto deliver_fn = [this, p](ProcessId r, const Message& m,
+                                    ProcessId s) {
+    if (r == p) return;
+    deliver(r, m, s);
+  };
+  const Network::CrossDeliveryFn coin = [this](ProcessId /*sender*/) {
+    return delivery_rng_.chance(0.5);
+  };
+
+  if (!survivors.empty()) {
+    ProcessSet lone(topology_.universe_size());
+    lone.insert(p);
+    network_.flush_for_partition(component, survivors, lone, deliver_fn,
+                                 crosses ? crosses : coin);
+    topology_.split(index, lone);
+    install_view(survivors);
+  } else {
+    // Already isolated: just drop whatever it had in flight to itself.
+    network_.flush_for_merge(component, deliver_fn);
+  }
+  crashed_.insert(p);
+}
+
+void Gcs::apply_recovery(ProcessId p) {
+  DV_REQUIRE(p < algorithms_.size(), "process id out of range");
+  DV_REQUIRE(crashed_.contains(p), "process is not crashed");
+  crashed_.erase(p);
+  // Reconnect as a singleton: the process discovers it is alone (its state
+  // survived on stable storage) and resynchronizes through later merges.
+  ProcessSet lone(topology_.universe_size());
+  lone.insert(p);
+  install_view(lone);
+}
+
+bool Gcs::has_primary() const {
+  for (ProcessId p = 0; p < algorithms_.size(); ++p) {
+    if (!crashed_.contains(p) && algorithms_[p]->in_primary()) return true;
+  }
+  return false;
+}
+
+}  // namespace dynvote

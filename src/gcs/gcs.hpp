@@ -1,0 +1,133 @@
+// The simulated group communication service.
+//
+// Plays the role Transis played for the thesis's implementation: it owns one
+// algorithm instance per process, reports connectivity changes as views,
+// and provides reliable multicast scoped to the sender's component.  The
+// thesis's own measurements ran exactly this way -- multiple algorithm
+// instances in one address space with a driver loop shuttling messages --
+// because the algorithms have no inherent communication ability.
+//
+// A *message round* is: deliver every in-flight multicast, then poll every
+// process once (offering an empty application message, per the interface
+// contract).  Multi-round protocols therefore take several rounds, and a
+// connectivity change injected between rounds interrupts them, which is
+// the phenomenon under study.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/algorithm.hpp"
+#include "gcs/network.hpp"
+#include "gcs/topology.hpp"
+#include "util/rng.hpp"
+
+namespace dynvote {
+
+struct GcsOptions {
+  /// Encode each sent payload to record wire sizes (costs CPU; the
+  /// availability benches leave it off, the message-size bench turns it on).
+  bool measure_wire_sizes = false;
+  /// Seed for the cross-side delivery coin flips made when a partition
+  /// catches messages in flight.  A separate stream from the fault
+  /// schedule, so the topology trajectory never depends on these draws.
+  std::uint64_t delivery_seed = 0xDE11u;
+  /// Serialize every multicast to bytes and parse it back before delivery,
+  /// exactly as a real transport would.  Slower; simulation results are
+  /// identical (the codec is lossless), which the test suite asserts --
+  /// this is the end-to-end proof that the wire format carries the whole
+  /// protocol.
+  bool serialize_on_wire = false;
+};
+
+struct WireStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t protocol_messages_sent = 0;
+  std::size_t max_message_bytes = 0;
+  std::uint64_t total_message_bytes = 0;
+};
+
+class Gcs {
+ public:
+  /// Builds one algorithm instance per process for a well-known kind.
+  Gcs(AlgorithmKind kind, std::size_t processes, GcsOptions options = {});
+
+  /// Builds instances via a caller-supplied factory -- the hook for hosting
+  /// additional algorithms (the thesis explicitly invites researchers to
+  /// plug their own into the framework) and for testing the harness itself.
+  using AlgorithmFactory = std::function<std::unique_ptr<PrimaryComponentAlgorithm>(
+      ProcessId self, const View& initial_view)>;
+  Gcs(const AlgorithmFactory& factory, std::size_t processes,
+      GcsOptions options = {});
+
+  std::size_t process_count() const { return algorithms_.size(); }
+  const Topology& topology() const { return topology_; }
+  const WireStats& wire_stats() const { return wire_stats_; }
+
+  PrimaryComponentAlgorithm& algorithm(ProcessId id);
+  const PrimaryComponentAlgorithm& algorithm(ProcessId id) const;
+
+  /// The view currently installed at `id`.
+  const View& view_of(ProcessId id) const;
+
+  /// Execute one message round.  Returns true if any delivery or send
+  /// happened (false = the system is quiescent).
+  bool step_round();
+
+  /// Partition: `moved` splits away from component `component_index`.
+  /// In-flight messages of that component flush to the sender's side
+  /// unconditionally and to the far side per `crosses` (default: a fair
+  /// coin from the delivery stream -- the packet either escaped before the
+  /// link died or it did not).  Then both sides receive new views.
+  /// Directed tests pass an explicit `crosses` to script Figure 3-1-style
+  /// asymmetries.
+  void apply_partition(std::size_t component_index, const ProcessSet& moved,
+                       const Network::CrossDeliveryFn& crosses = nullptr);
+
+  /// Merge components `a` and `b`.  In-flight messages of both flush to
+  /// their full old scopes, then the union receives a new view.
+  void apply_merge(std::size_t a, std::size_t b);
+
+  /// Crash a process (thesis §5.1 future work).  The process is isolated
+  /// into a singleton component and stops participating: it is not polled,
+  /// receives nothing, and claims nothing.  Messages it multicast before
+  /// crashing may still reach the survivors (per `crosses`, defaulting to
+  /// the delivery coin); messages addressed to it are lost.  The survivors
+  /// receive a new view.
+  void apply_crash(ProcessId p,
+                   const Network::CrossDeliveryFn& crosses = nullptr);
+
+  /// Recover a crashed process with its state intact (crash-recovery with
+  /// stable storage).  It rejoins as a singleton component -- receiving a
+  /// singleton view -- and reconnects through ordinary merges.
+  void apply_recovery(ProcessId p);
+
+  /// Currently crashed processes.
+  const ProcessSet& crashed() const { return crashed_; }
+  bool is_crashed(ProcessId p) const { return crashed_.contains(p); }
+
+  /// True when no multicast is in flight.
+  bool network_idle() const { return network_.idle(); }
+
+  /// Does any process currently consider itself in a primary component?
+  /// (The invariant checker guarantees per-component agreement.)
+  bool has_primary() const;
+
+ private:
+  void install_view(const ProcessSet& members);
+  void deliver(ProcessId recipient, const Message& message, ProcessId sender);
+  void record_send(const Message& message);
+
+  GcsOptions options_;
+  Topology topology_;
+  Network network_;
+  Rng delivery_rng_{0xDE11u};
+  std::vector<std::unique_ptr<PrimaryComponentAlgorithm>> algorithms_;
+  std::vector<View> installed_views_;
+  ViewId next_view_id_ = 2;  // the initial view is id 1
+  WireStats wire_stats_;
+  ProcessSet crashed_;
+};
+
+}  // namespace dynvote

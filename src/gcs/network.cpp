@@ -1,0 +1,70 @@
+#include "gcs/network.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace dynvote {
+
+void Network::send(ProcessId sender, ProcessSet scope, Message message) {
+  DV_REQUIRE(scope.contains(sender), "sender must be inside its scope");
+  in_flight_.push_back(Multicast{sender, std::move(scope), std::move(message)});
+}
+
+void Network::deliver_to(const Multicast& m, const ProcessSet& recipients,
+                         const DeliverFn& deliver) {
+  recipients.for_each(
+      [&](ProcessId r) { deliver(r, m.message, m.sender); });
+}
+
+std::size_t Network::deliver_all(const DeliverFn& deliver) {
+  // Swap out first: deliveries can trigger polls in a driver that sends new
+  // messages, and those belong to the *next* round.
+  std::vector<Multicast> batch;
+  batch.swap(in_flight_);
+  std::size_t deliveries = 0;
+  for (const Multicast& m : batch) {
+    deliver_to(m, m.scope, deliver);
+    deliveries += m.scope.count();
+  }
+  return deliveries;
+}
+
+void Network::flush_for_partition(const ProcessSet& component,
+                                  const ProcessSet& side_a,
+                                  const ProcessSet& side_b,
+                                  const DeliverFn& deliver,
+                                  const CrossDeliveryFn& crosses) {
+  std::vector<Multicast> kept;
+  kept.reserve(in_flight_.size());
+  for (Multicast& m : in_flight_) {
+    if (!(m.scope == component)) {
+      kept.push_back(std::move(m));
+      continue;
+    }
+    const bool sender_on_a = side_a.contains(m.sender);
+    DV_ASSERT_MSG(sender_on_a || side_b.contains(m.sender),
+                  "sender on neither side of split");
+    const ProcessSet& near_side = sender_on_a ? side_a : side_b;
+    const ProcessSet& far_side = sender_on_a ? side_b : side_a;
+    deliver_to(m, near_side, deliver);
+    if (crosses(m.sender)) deliver_to(m, far_side, deliver);
+  }
+  in_flight_ = std::move(kept);
+}
+
+void Network::flush_for_merge(const ProcessSet& component,
+                              const DeliverFn& deliver) {
+  std::vector<Multicast> kept;
+  kept.reserve(in_flight_.size());
+  for (Multicast& m : in_flight_) {
+    if (!(m.scope == component)) {
+      kept.push_back(std::move(m));
+      continue;
+    }
+    deliver_to(m, m.scope, deliver);
+  }
+  in_flight_ = std::move(kept);
+}
+
+}  // namespace dynvote

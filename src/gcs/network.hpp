@@ -1,0 +1,78 @@
+// In-flight message store with view-synchronous flush semantics.
+//
+// A multicast sent in round t is "in flight" until the start of round t+1.
+// If a connectivity change hits the sender's component first, the message
+// is flushed with virtual-synchrony semantics:
+//
+//  * partition: the message always reaches the members on the *sender's*
+//    side of the split; it reaches the far side -- as a whole, so processes
+//    that move to the new view together have delivered the same set of
+//    messages, as Transis guarantees -- only if the caller's cross-delivery
+//    policy says the packet made it out before the link died.  This is the
+//    asymmetry of thesis Figure 3-1: c's attempt crosses to a and b, who
+//    complete the primary {a,b,c}, while a's and b's final messages never
+//    reach the detached c, which must treat {a,b,c} as ambiguous;
+//  * merge: the message is delivered to the full old component before the
+//    merged view is installed (a merge does not destroy connectivity).
+//
+// Messages in components unaffected by a change stay queued and are
+// delivered normally at the next round.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/message.hpp"
+#include "core/types.hpp"
+
+namespace dynvote {
+
+class Network {
+ public:
+  /// Called once per (message, recipient) delivery.
+  using DeliverFn =
+      std::function<void(ProcessId recipient, const Message& message,
+                         ProcessId sender)>;
+
+  /// Decides, per in-flight multicast, whether it crosses to the far side
+  /// of a partition before connectivity is lost.
+  using CrossDeliveryFn = std::function<bool(ProcessId sender)>;
+
+  /// Queue a multicast from `sender`, scoped to its component at send time.
+  void send(ProcessId sender, ProcessSet scope, Message message);
+
+  /// Deliver every queued multicast to all processes in its scope, in send
+  /// order, recipients in ascending id order.  Returns the number of
+  /// deliveries made.
+  std::size_t deliver_all(const DeliverFn& deliver);
+
+  /// Flush messages scoped to `component` because it is about to partition
+  /// into `side_a` and `side_b`: each message reaches its sender's side
+  /// unconditionally and the opposite side iff `crosses(sender)`.  Other
+  /// queued messages are untouched.
+  void flush_for_partition(const ProcessSet& component,
+                           const ProcessSet& side_a, const ProcessSet& side_b,
+                           const DeliverFn& deliver,
+                           const CrossDeliveryFn& crosses);
+
+  /// Flush messages scoped to `component` (about to merge) to their full
+  /// scope.  Other queued messages are untouched.
+  void flush_for_merge(const ProcessSet& component, const DeliverFn& deliver);
+
+  bool idle() const { return in_flight_.empty(); }
+  std::size_t in_flight_count() const { return in_flight_.size(); }
+
+ private:
+  struct Multicast {
+    ProcessId sender;
+    ProcessSet scope;
+    Message message;
+  };
+
+  static void deliver_to(const Multicast& m, const ProcessSet& recipients,
+                         const DeliverFn& deliver);
+
+  std::vector<Multicast> in_flight_;
+};
+
+}  // namespace dynvote

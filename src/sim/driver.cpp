@@ -1,0 +1,93 @@
+#include "sim/driver.hpp"
+
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace dynvote {
+
+namespace {
+Gcs make_gcs(const SimulationConfig& config) {
+  const GcsOptions options{.measure_wire_sizes = config.measure_wire_sizes,
+                           .delivery_seed = mix_seed(config.seed, 0xDE11u),
+                           .serialize_on_wire = config.serialize_on_wire};
+  if (config.algorithm_factory) {
+    return Gcs(config.algorithm_factory, config.processes, options);
+  }
+  return Gcs(config.algorithm, config.processes, options);
+}
+}  // namespace
+
+Simulation::Simulation(const SimulationConfig& config)
+    : config_(config),
+      gcs_(make_gcs(config)),
+      scheduler_(config.seed, config.mean_rounds_between_changes,
+                 config.crash_fraction),
+      checker_(gcs_) {
+  DV_REQUIRE(config.processes >= 2, "the study needs at least two processes");
+  DV_REQUIRE(config.observer < config.processes, "observer id out of range");
+}
+
+void Simulation::step_round() {
+  last_round_active_ = gcs_.step_round();
+  if (config_.check_invariants) checker_.check(gcs_);
+}
+
+void Simulation::apply(const ConnectivityChange& change) {
+  switch (change.kind) {
+    case ConnectivityChange::Kind::kPartition:
+      gcs_.apply_partition(change.component_a, change.moved);
+      break;
+    case ConnectivityChange::Kind::kMerge:
+      gcs_.apply_merge(change.component_a, change.component_b);
+      break;
+    case ConnectivityChange::Kind::kCrash:
+      gcs_.apply_crash(change.process);
+      break;
+    case ConnectivityChange::Kind::kRecovery:
+      gcs_.apply_recovery(change.process);
+      break;
+  }
+  ++total_changes_;
+  if (config_.check_invariants) checker_.check(gcs_);
+}
+
+RunResult Simulation::run_once() {
+  RunResult result;
+  result.observer_ambiguous_at_changes.reserve(config_.changes_per_run);
+
+  for (std::size_t c = 0; c < config_.changes_per_run; ++c) {
+    const std::size_t gap = scheduler_.next_gap();
+    for (std::size_t g = 0; g < gap; ++g) {
+      step_round();
+      ++result.rounds_executed;
+      if (gcs_.has_primary()) ++result.rounds_with_primary;
+    }
+    result.observer_ambiguous_at_changes.push_back(
+        gcs_.algorithm(config_.observer).debug_info().ambiguous_count);
+    apply(scheduler_.next_change(gcs_.topology(), gcs_.crashed()));
+    ++result.changes_applied;
+  }
+
+  // Stabilization: run rounds uninterrupted until a full round passes with
+  // no delivery and no send.
+  std::size_t quiet_rounds = 0;
+  while (quiet_rounds < config_.max_stabilization_rounds) {
+    step_round();
+    ++result.rounds_executed;
+    if (gcs_.has_primary()) ++result.rounds_with_primary;
+    ++quiet_rounds;
+    if (!last_round_active_) break;
+  }
+  DV_ASSERT_MSG(!last_round_active_,
+                "system failed to quiesce within the stabilization budget");
+
+  result.primary_at_end = gcs_.has_primary();
+  const AlgorithmDebugInfo observer =
+      gcs_.algorithm(config_.observer).debug_info();
+  result.observer_ambiguous_at_end = observer.ambiguous_count;
+  result.observer_blocked_at_end = observer.blocked;
+  return result;
+}
+
+}  // namespace dynvote

@@ -1,0 +1,99 @@
+// The driver loop (thesis §2.2).
+//
+// "The testing system begins each simulation with all the processes
+// mutually connected.  The processes are then allowed to exchange messages
+// while the driver loop injects connectivity changes with the appropriate
+// probability.  Once the desired number of changes have been introduced,
+// the driver loop allows the processes to exchange messages without
+// further interruptions until the system reaches a stable state."
+//
+// One Simulation instance supports both test modes: construct fresh per run
+// for the "fresh start" figures, or call run_once() repeatedly on the same
+// instance for the "cascading" figures (each run starts in the state at
+// which the previous one ended).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gcs/gcs.hpp"
+#include "sim/fault_schedule.hpp"
+#include "sim/invariants.hpp"
+
+namespace dynvote {
+
+struct SimulationConfig {
+  AlgorithmKind algorithm = AlgorithmKind::kYkd;
+  /// When set, overrides `algorithm`: instances come from this factory
+  /// (custom options, research algorithms plugged into the framework).
+  Gcs::AlgorithmFactory algorithm_factory;
+  std::size_t processes = 64;
+  /// Connectivity changes injected per run (the figures use 2, 6, 12).
+  std::size_t changes_per_run = 6;
+  /// Mean message rounds between changes (the figures sweep 0..12).
+  double mean_rounds_between_changes = 4.0;
+  /// Extension (thesis §5.1): fraction of injected faults that are process
+  /// crashes/recoveries rather than connectivity changes.  0 = the paper's
+  /// model, with bit-identical schedules.
+  double crash_fraction = 0.0;
+  std::uint64_t seed = 1;
+  /// Run the safety checker after every round and change.
+  bool check_invariants = true;
+  /// Encode payloads to record wire sizes (slower).
+  bool measure_wire_sizes = false;
+  /// Round-trip every multicast through the byte codec, as a real
+  /// transport would (see GcsOptions::serialize_on_wire).
+  bool serialize_on_wire = false;
+  /// Stabilization must quiesce within this many rounds; exceeding it means
+  /// an algorithm chatters forever and is reported as an error.
+  std::size_t max_stabilization_rounds = 4096;
+  /// The process whose ambiguous-session counts are sampled (thesis: "the
+  /// statistics were collected by one of the processes").
+  ProcessId observer = 0;
+};
+
+struct RunResult {
+  /// Did the run end with a primary component present?  The headline
+  /// availability metric of every figure.
+  bool primary_at_end = false;
+  /// Ambiguous sessions the observer retains at the stable end (Fig. 4-7).
+  std::size_t observer_ambiguous_at_end = 0;
+  /// Ambiguous sessions the observer held at each injected change, i.e.
+  /// what it must ship over the network (Fig. 4-8).
+  std::vector<std::size_t> observer_ambiguous_at_changes;
+  std::size_t rounds_executed = 0;
+  std::size_t changes_applied = 0;
+  /// Rounds during which some primary component existed -- an in-run
+  /// availability measure, finer than the end-of-run flag (interrupted
+  /// attempts cost availability *during* the turbulence too).
+  std::size_t rounds_with_primary = 0;
+  /// Observer blocked (wants to act, lacks quorum/members) at the end.
+  bool observer_blocked_at_end = false;
+};
+
+class Simulation {
+ public:
+  explicit Simulation(const SimulationConfig& config);
+
+  /// Inject `changes_per_run` changes at the configured rate, stabilize,
+  /// and report.  Callable repeatedly (cascading mode).
+  RunResult run_once();
+
+  const Gcs& gcs() const { return gcs_; }
+  Gcs& gcs() { return gcs_; }
+  std::uint64_t total_changes() const { return total_changes_; }
+  std::uint64_t invariant_checks() const { return checker_.checks_performed(); }
+
+ private:
+  void apply(const ConnectivityChange& change);
+  void step_round();
+
+  SimulationConfig config_;
+  Gcs gcs_;
+  FaultScheduler scheduler_;
+  InvariantChecker checker_;
+  std::uint64_t total_changes_ = 0;
+  bool last_round_active_ = true;
+};
+
+}  // namespace dynvote

@@ -1,0 +1,89 @@
+#include "sim/experiment.hpp"
+
+#include <bit>
+#include <cstdlib>
+#include <string>
+
+#include "sim/driver.hpp"
+#include "util/rng.hpp"
+
+namespace dynvote {
+
+namespace {
+
+std::uint64_t rate_key(double mean_rounds) {
+  return std::bit_cast<std::uint64_t>(mean_rounds);
+}
+
+SimulationConfig config_for(const CaseSpec& spec, std::uint64_t seed) {
+  SimulationConfig config;
+  config.algorithm = spec.algorithm;
+  config.algorithm_factory = spec.algorithm_factory;
+  config.processes = spec.processes;
+  config.changes_per_run = spec.changes;
+  config.mean_rounds_between_changes = spec.mean_rounds;
+  config.crash_fraction = spec.crash_fraction;
+  config.seed = seed;
+  config.check_invariants = spec.check_invariants;
+  config.measure_wire_sizes = spec.measure_wire_sizes;
+  return config;
+}
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(raw, &end, 10);
+  if (end == raw || *end != '\0') return fallback;
+  return static_cast<std::uint64_t>(value);
+}
+
+}  // namespace
+
+const char* to_string(RunMode mode) {
+  return mode == RunMode::kFreshStart ? "fresh-start" : "cascading";
+}
+
+CaseResult run_case(const CaseSpec& spec) {
+  CaseResult result;
+  result.success_per_run.reserve(spec.runs);
+
+  if (spec.mode == RunMode::kFreshStart) {
+    for (std::uint64_t i = 0; i < spec.runs; ++i) {
+      const std::uint64_t seed =
+          mix_seed(spec.base_seed, spec.processes, spec.changes,
+                   rate_key(spec.mean_rounds), i);
+      Simulation sim(config_for(spec, seed));
+      result.record(sim.run_once());
+      result.max_message_bytes =
+          std::max(result.max_message_bytes,
+                   sim.gcs().wire_stats().max_message_bytes);
+    }
+  } else {
+    const std::uint64_t seed =
+        mix_seed(spec.base_seed, spec.processes, spec.changes,
+                 rate_key(spec.mean_rounds), 0xCA5CADEull);
+    Simulation sim(config_for(spec, seed));
+    for (std::uint64_t i = 0; i < spec.runs; ++i) {
+      result.record(sim.run_once());
+    }
+    result.max_message_bytes = sim.gcs().wire_stats().max_message_bytes;
+  }
+  return result;
+}
+
+std::vector<double> standard_rate_sweep() {
+  return {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+}
+
+std::vector<std::size_t> standard_change_counts() { return {2, 6, 12}; }
+
+std::uint64_t runs_from_env(std::uint64_t fallback) {
+  return env_u64("DV_RUNS", fallback);
+}
+
+std::uint64_t seed_from_env(std::uint64_t fallback) {
+  return env_u64("DV_SEED", fallback);
+}
+
+}  // namespace dynvote

@@ -1,0 +1,59 @@
+// Experiment cases and sweeps (thesis §4).
+//
+// A case is (algorithm, process count, #changes, rate, mode); each case is
+// simulated in `runs` runs (the thesis used 1000).  Seeding is a pure
+// function of the case coordinates and the run index -- never of the
+// algorithm -- so every algorithm is tested against the identical random
+// sequence, exactly as the thesis did.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/stats.hpp"
+
+namespace dynvote {
+
+enum class RunMode {
+  /// Each run begins brand-new in the original state (Figures 4-1..4-3).
+  kFreshStart,
+  /// Each run begins where the previous one ended (Figures 4-4..4-6).
+  kCascading,
+};
+
+const char* to_string(RunMode mode);
+
+struct CaseSpec {
+  AlgorithmKind algorithm = AlgorithmKind::kYkd;
+  /// When set, overrides `algorithm` (custom options / plugged-in
+  /// algorithms); the seeding discipline is unaffected.
+  Gcs::AlgorithmFactory algorithm_factory;
+  std::size_t processes = 64;
+  std::size_t changes = 6;
+  double mean_rounds = 4.0;
+  /// Extension: fraction of faults that are crashes/recoveries (§5.1).
+  double crash_fraction = 0.0;
+  std::uint64_t runs = 1000;
+  RunMode mode = RunMode::kFreshStart;
+  std::uint64_t base_seed = 0x5eedu;
+  bool measure_wire_sizes = false;
+  bool check_invariants = true;
+};
+
+/// Simulate one case and aggregate the results.
+CaseResult run_case(const CaseSpec& spec);
+
+/// The x-axis of the availability figures: mean message rounds between
+/// connectivity changes, 0 through 12.
+std::vector<double> standard_rate_sweep();
+
+/// The change counts of the figures: {2, 6, 12}.
+std::vector<std::size_t> standard_change_counts();
+
+/// Runs per case: DV_RUNS from the environment, else `fallback`.
+std::uint64_t runs_from_env(std::uint64_t fallback);
+
+/// Base seed: DV_SEED from the environment, else `fallback`.
+std::uint64_t seed_from_env(std::uint64_t fallback);
+
+}  // namespace dynvote

@@ -1,0 +1,71 @@
+#include "sim/invariants.hpp"
+
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace dynvote {
+
+InvariantChecker::InvariantChecker(const Gcs& gcs)
+    : last_primary_numbers_(gcs.process_count(), 0) {}
+
+void InvariantChecker::check(const Gcs& gcs) {
+  ++checks_;
+  std::size_t primary_components = 0;
+
+  for (const ProcessSet& component : gcs.topology().components()) {
+    // A crashed process claims nothing: its (frozen, possibly stale) state
+    // is exempt until it recovers.  Crashed processes are always isolated
+    // into singleton components.
+    if (component.is_subset_of(gcs.crashed())) continue;
+
+    const ProcessId first = component.lowest();
+    const bool claim = gcs.algorithm(first).in_primary();
+    const Session& first_primary = gcs.algorithm(first).last_primary_session();
+
+    component.for_each([&](ProcessId p) {
+      const auto& alg = gcs.algorithm(p);
+      if (alg.in_primary() != claim) {
+        std::ostringstream os;
+        os << "agreement violated in component " << component.to_string()
+           << ": process " << first << " says " << claim << ", process " << p
+           << " says " << alg.in_primary();
+        throw InvariantViolation(os.str());
+      }
+      const Session& primary = alg.last_primary_session();
+      if (claim && !(primary == first_primary)) {
+        std::ostringstream os;
+        os << "primary component " << component.to_string()
+           << " disagrees on the formed session: process " << first << " has "
+           << first_primary.to_string() << ", process " << p << " has "
+           << primary.to_string();
+        throw InvariantViolation(os.str());
+      }
+      if (primary.number < last_primary_numbers_[p]) {
+        std::ostringstream os;
+        os << "lastPrimary number went backwards at process " << p << ": "
+           << last_primary_numbers_[p] << " -> " << primary.number;
+        throw InvariantViolation(os.str());
+      }
+      last_primary_numbers_[p] = primary.number;
+    });
+
+    if (claim) {
+      ++primary_components;
+      if (!(first_primary.members == component)) {
+        std::ostringstream os;
+        os << "primary session members " << first_primary.to_string()
+           << " differ from component " << component.to_string();
+        throw InvariantViolation(os.str());
+      }
+    }
+  }
+
+  if (primary_components > 1) {
+    std::ostringstream os;
+    os << primary_components << " live primary components exist concurrently";
+    throw InvariantViolation(os.str());
+  }
+}
+
+}  // namespace dynvote

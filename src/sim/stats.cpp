@@ -1,0 +1,71 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace dynvote {
+
+void AmbiguityHistogram::record(std::size_t count) {
+  const std::size_t bucket = std::min<std::size_t>(count, kBuckets - 1);
+  ++buckets[bucket];
+  ++samples;
+  max_observed = std::max(max_observed, count);
+}
+
+double AmbiguityHistogram::percent(std::size_t bucket) const {
+  DV_REQUIRE(bucket < kBuckets, "bucket out of range");
+  if (samples == 0) return 0.0;
+  return 100.0 * static_cast<double>(buckets[bucket]) /
+         static_cast<double>(samples);
+}
+
+double AmbiguityHistogram::percent_nonzero() const {
+  if (samples == 0) return 0.0;
+  return 100.0 * static_cast<double>(samples - buckets[0]) /
+         static_cast<double>(samples);
+}
+
+void AmbiguityHistogram::merge(const AmbiguityHistogram& other) {
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets[i] += other.buckets[i];
+  samples += other.samples;
+  max_observed = std::max(max_observed, other.max_observed);
+}
+
+double CaseResult::availability_percent() const {
+  if (runs == 0) return 0.0;
+  return 100.0 * static_cast<double>(successes) / static_cast<double>(runs);
+}
+
+void CaseResult::record(const RunResult& run) {
+  ++runs;
+  if (run.primary_at_end) ++successes;
+  success_per_run.push_back(run.primary_at_end);
+  stable.record(run.observer_ambiguous_at_end);
+  for (std::size_t count : run.observer_ambiguous_at_changes) {
+    in_progress.record(count);
+  }
+  total_rounds += run.rounds_executed;
+  total_changes += run.changes_applied;
+  total_rounds_with_primary += run.rounds_with_primary;
+}
+
+double CaseResult::in_run_availability_percent() const {
+  if (total_rounds == 0) return 0.0;
+  return 100.0 * static_cast<double>(total_rounds_with_primary) /
+         static_cast<double>(total_rounds);
+}
+
+double percent_a_wins(const CaseResult& a, const CaseResult& b) {
+  DV_REQUIRE(a.success_per_run.size() == b.success_per_run.size(),
+             "paired comparison requires equal run counts");
+  if (a.success_per_run.empty()) return 0.0;
+  std::uint64_t wins = 0;
+  for (std::size_t i = 0; i < a.success_per_run.size(); ++i) {
+    if (a.success_per_run[i] && !b.success_per_run[i]) ++wins;
+  }
+  return 100.0 * static_cast<double>(wins) /
+         static_cast<double>(a.success_per_run.size());
+}
+
+}  // namespace dynvote

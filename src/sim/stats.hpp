@@ -1,0 +1,63 @@
+// Aggregation of run results into the statistics the figures report.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/driver.hpp"
+
+namespace dynvote {
+
+/// Histogram over ambiguous-session counts with the bucketing of
+/// Figures 4-7/4-8: 0, 1, 2, 3, and "4+".
+struct AmbiguityHistogram {
+  static constexpr std::size_t kBuckets = 5;
+
+  std::array<std::uint64_t, kBuckets> buckets{};
+  std::uint64_t samples = 0;
+  std::size_t max_observed = 0;
+
+  void record(std::size_t count);
+
+  /// Percent of samples that fell into `bucket` (4 = "4 or more").
+  double percent(std::size_t bucket) const;
+
+  /// Percent of samples with at least one ambiguous session -- the total
+  /// bar height in the thesis's figures.
+  double percent_nonzero() const;
+
+  void merge(const AmbiguityHistogram& other);
+};
+
+/// Everything measured for one case (algorithm x #changes x rate x mode).
+struct CaseResult {
+  std::uint64_t runs = 0;
+  std::uint64_t successes = 0;
+  /// Per-run outcomes, for paired comparisons between algorithms run on the
+  /// identical fault schedule (e.g. the thesis's "YKD succeeds in ~3% of
+  /// runs where DFLS does not").
+  std::vector<bool> success_per_run;
+  /// Observer's ambiguous sessions at the stable end of each run (Fig 4-7).
+  AmbiguityHistogram stable;
+  /// Observer's ambiguous sessions at each injected change (Fig 4-8).
+  AmbiguityHistogram in_progress;
+  std::uint64_t total_rounds = 0;
+  std::uint64_t total_changes = 0;
+  std::uint64_t total_rounds_with_primary = 0;
+  /// Largest protocol message seen, when wire measurement was enabled.
+  std::size_t max_message_bytes = 0;
+
+  double availability_percent() const;
+
+  /// Percent of executed rounds during which a primary existed -- the
+  /// in-run availability measure.
+  double in_run_availability_percent() const;
+
+  void record(const RunResult& run);
+};
+
+/// Percent of runs where `a` succeeded and `b` failed, over paired runs.
+double percent_a_wins(const CaseResult& a, const CaseResult& b);
+
+}  // namespace dynvote

@@ -1,0 +1,77 @@
+#include "sim/table.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace dynvote {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  DV_REQUIRE(cells.size() == headers_.size(),
+             "row width differs from header width");
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  const auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "| " : " | ") << std::setw(static_cast<int>(widths[c]))
+         << cells[c];
+    }
+    os << " |\n";
+  };
+
+  std::size_t total = 1;
+  for (std::size_t w : widths) total += w + 3;
+  const std::string rule(total, '-');
+
+  os << rule << '\n';
+  print_row(headers_);
+  os << rule << '\n';
+  for (const auto& row : rows_) print_row(row);
+  os << rule << '\n';
+}
+
+std::string TextTable::to_csv() const {
+  std::ostringstream os;
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) os << ',';
+      os << cells[c];
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string format_double(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+bool maybe_write_csv(const std::string& name, const std::string& csv) {
+  const char* dir = std::getenv("DV_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') return false;
+  const std::string path = std::string(dir) + "/" + name + ".csv";
+  std::ofstream out(path);
+  if (!out) return false;
+  out << csv;
+  return true;
+}
+
+}  // namespace dynvote

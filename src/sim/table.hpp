@@ -1,0 +1,38 @@
+// Fixed-width text tables and CSV output for the benchmark binaries.
+//
+// The thesis piped results through Perl and Matlab; our benches print the
+// same rows directly (one table per figure), plus optional CSV for external
+// plotting (set DV_CSV_DIR to a directory to enable).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dynvote {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Aligned, boxed-with-dashes rendering.
+  void print(std::ostream& os) const;
+
+  /// RFC-4180-ish CSV (no quoting needed for our cell contents).
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "97.3" style fixed-precision formatting.
+std::string format_double(double value, int precision = 1);
+
+/// Write `csv` to $DV_CSV_DIR/<name>.csv when DV_CSV_DIR is set; returns
+/// whether a file was written.
+bool maybe_write_csv(const std::string& name, const std::string& csv);
+
+}  // namespace dynvote

@@ -1,0 +1,93 @@
+#include "util/codec.hpp"
+
+namespace dynvote {
+
+void Encoder::put_varint(std::uint64_t value) {
+  while (value >= 0x80) {
+    buffer_.push_back(static_cast<std::byte>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  buffer_.push_back(static_cast<std::byte>(value));
+}
+
+void Encoder::put_u8(std::uint8_t value) {
+  buffer_.push_back(static_cast<std::byte>(value));
+}
+
+void Encoder::put_u64_fixed(std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    buffer_.push_back(static_cast<std::byte>(value & 0xff));
+    value >>= 8;
+  }
+}
+
+void Encoder::put_bytes(std::span<const std::byte> bytes) {
+  put_varint(bytes.size());
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+void Encoder::put_string(std::string_view s) {
+  put_varint(s.size());
+  for (char c : s) buffer_.push_back(static_cast<std::byte>(c));
+}
+
+void Decoder::need(std::size_t n) const {
+  if (remaining() < n) throw DecodeError("truncated input");
+}
+
+std::uint64_t Decoder::get_varint() {
+  std::uint64_t value = 0;
+  int shift = 0;
+  for (;;) {
+    need(1);
+    const auto b = static_cast<std::uint8_t>(bytes_[pos_++]);
+    if (shift == 63 && (b & 0x7e) != 0) throw DecodeError("varint overflow");
+    value |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return value;
+    shift += 7;
+    if (shift > 63) throw DecodeError("varint too long");
+  }
+}
+
+std::uint8_t Decoder::get_u8() {
+  need(1);
+  return static_cast<std::uint8_t>(bytes_[pos_++]);
+}
+
+std::uint64_t Decoder::get_u64_fixed() {
+  need(8);
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(bytes_[pos_ + i]))
+             << (8 * i);
+  }
+  pos_ += 8;
+  return value;
+}
+
+std::vector<std::byte> Decoder::get_bytes() {
+  const std::uint64_t n = get_varint();
+  need(n);
+  std::vector<std::byte> out(bytes_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                             bytes_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+std::string Decoder::get_string() {
+  const std::uint64_t n = get_varint();
+  need(n);
+  std::string out;
+  out.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<char>(bytes_[pos_ + i]));
+  }
+  pos_ += n;
+  return out;
+}
+
+void Decoder::finish() const {
+  if (remaining() != 0) throw DecodeError("trailing bytes after payload");
+}
+
+}  // namespace dynvote

@@ -1,0 +1,49 @@
+// Minimal leveled logger.
+//
+// The simulator runs hundreds of thousands of short simulations, so logging
+// must cost nothing when disabled: the macro checks the level before any
+// formatting happens.  Output goes to stderr; the examples raise the level
+// to narrate protocol traces.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dynvote {
+
+enum class LogLevel : int {
+  kError = 0,
+  kWarn = 1,
+  kInfo = 2,
+  kDebug = 3,
+  kTrace = 4,
+};
+
+/// Global log threshold; messages above it are discarded before formatting.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Parse "error" | "warn" | "info" | "debug" | "trace"; unknown -> kWarn.
+LogLevel parse_log_level(const std::string& name);
+
+namespace detail {
+void emit_log(LogLevel level, const std::string& message);
+}  // namespace detail
+
+}  // namespace dynvote
+
+#define DV_LOG(level, expr)                                      \
+  do {                                                           \
+    if (static_cast<int>(level) <=                               \
+        static_cast<int>(::dynvote::log_level())) {              \
+      std::ostringstream dv_log_os;                              \
+      dv_log_os << expr;                                         \
+      ::dynvote::detail::emit_log((level), dv_log_os.str());     \
+    }                                                            \
+  } while (false)
+
+#define DV_LOG_ERROR(expr) DV_LOG(::dynvote::LogLevel::kError, expr)
+#define DV_LOG_WARN(expr) DV_LOG(::dynvote::LogLevel::kWarn, expr)
+#define DV_LOG_INFO(expr) DV_LOG(::dynvote::LogLevel::kInfo, expr)
+#define DV_LOG_DEBUG(expr) DV_LOG(::dynvote::LogLevel::kDebug, expr)
+#define DV_LOG_TRACE(expr) DV_LOG(::dynvote::LogLevel::kTrace, expr)

@@ -1,0 +1,147 @@
+// The algorithm-to-application contract (thesis §2.1), enforced uniformly
+// across every algorithm: payload stripping, app-data preservation,
+// event-driven quiescence (state changes only on new information), and
+// stale-view hygiene.
+#include <gtest/gtest.h>
+
+#include "core/algorithm.hpp"
+#include "gcs/gcs.hpp"
+#include "sim_test_util.hpp"
+
+namespace dynvote {
+namespace {
+
+class AlgorithmContract : public ::testing::TestWithParam<AlgorithmKind> {
+ protected:
+  static std::unique_ptr<PrimaryComponentAlgorithm> fresh(ProcessId self = 0,
+                                                          std::size_t n = 4) {
+    return make_algorithm(GetParam(), self, View{1, ProcessSet::full(n)});
+  }
+};
+
+TEST_P(AlgorithmContract, FactoryProducesTheRightAlgorithm) {
+  const auto alg = fresh();
+  EXPECT_EQ(alg->name(), to_string(GetParam()));
+  EXPECT_EQ(alg->self(), 0u);
+  EXPECT_EQ(alg->initial_view().members, ProcessSet::full(4));
+}
+
+TEST_P(AlgorithmContract, StartsInPrimaryInTheInitialView) {
+  // "The algorithm must be started with a list of all of the processes in
+  // the very first view" -- and everyone together is the first primary.
+  EXPECT_TRUE(fresh()->in_primary());
+}
+
+TEST_P(AlgorithmContract, ConstructionRequiresMembership) {
+  EXPECT_THROW(
+      make_algorithm(GetParam(), 9, View{1, ProcessSet::full(4)}),
+      PreconditionViolation);
+}
+
+TEST_P(AlgorithmContract, IncomingStripsProtocolAndKeepsAppData) {
+  const auto alg = fresh();
+  Message m = Message::from_text("application bytes");
+  auto payload = std::make_shared<GcRoundPayload>();
+  payload->view_id = 1;
+  m.protocol = payload;
+
+  const Message out = alg->incoming_message(std::move(m), 1);
+  EXPECT_FALSE(out.has_protocol());
+  EXPECT_EQ(out.app_data, Message::from_text("application bytes").app_data);
+}
+
+TEST_P(AlgorithmContract, OutgoingPreservesAppData) {
+  const auto alg = fresh();
+  alg->view_changed(View{2, ProcessSet(4, {0, 1, 2})});
+  const Message app = Message::from_text("user payload");
+  const auto out = alg->outgoing_message_poll(app);
+  if (out.has_value()) {
+    EXPECT_EQ(out->app_data, app.app_data);
+  }
+}
+
+TEST_P(AlgorithmContract, QuiescesAfterBoundedPolling) {
+  // Event-driven: with no new information, the poll must eventually return
+  // nothing, forever (the application never needs to poll spontaneously).
+  const auto alg = fresh();
+  alg->view_changed(View{2, ProcessSet(4, {0, 1, 2})});
+  int sends = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (alg->outgoing_message_poll(Message::empty()).has_value()) ++sends;
+  }
+  EXPECT_LE(sends, 5);
+  // Once drained, it stays drained.
+  EXPECT_EQ(alg->outgoing_message_poll(Message::empty()), std::nullopt);
+}
+
+TEST_P(AlgorithmContract, ViewChangeClearsPrimaryUntilReestablished) {
+  Gcs gcs(GetParam(), 4);
+  EXPECT_TRUE(gcs.algorithm(0).in_primary());
+  gcs.apply_partition(0, ProcessSet(4, {3}));
+  // Immediately after the view change nobody is primary: agreement must be
+  // re-established first (simple majority is the one exception -- it is
+  // stateless and message-free, so its declaration is instantaneous).
+  if (GetParam() != AlgorithmKind::kSimpleMajority) {
+    EXPECT_FALSE(gcs.algorithm(0).in_primary());
+  }
+  test::settle(gcs);
+  EXPECT_TRUE(gcs.algorithm(0).in_primary());
+}
+
+TEST_P(AlgorithmContract, IgnoresPayloadsFromOtherViews) {
+  const auto alg = fresh();
+  // A singleton view: no algorithm may consider it primary without a
+  // protocol exchange (and simple majority: 1 of 4 is no quorum).
+  alg->view_changed(View{5, ProcessSet(4, {0})});
+
+  // Feed it every payload type stamped with a stale view id; none may
+  // disturb it (no crash, no primary, and its own round-1 send intact).
+  const auto feed = [&](std::shared_ptr<ProtocolPayload> p) {
+    p->view_id = 4;
+    Message m;
+    m.protocol = std::move(p);
+    (void)alg->incoming_message(std::move(m), 1);
+  };
+  auto state = std::make_shared<StateExchangePayload>();
+  state->last_primary = Session{0, ProcessSet::full(4)};
+  state->last_formed.assign(4, Session{0, ProcessSet::full(4)});
+  feed(state);
+  feed(std::make_shared<AttemptPayload>());
+  feed(std::make_shared<GcRoundPayload>());
+  feed(std::make_shared<Mr1pPendingPayload>());
+  feed(std::make_shared<Mr1pProposePayload>());
+  feed(std::make_shared<Mr1pAttemptPayload>());
+
+  EXPECT_FALSE(alg->in_primary());
+}
+
+TEST_P(AlgorithmContract, DebugInfoIsCoherent) {
+  const auto alg = fresh();
+  const AlgorithmDebugInfo info = alg->debug_info();
+  EXPECT_EQ(info.last_primary, alg->last_primary_session());
+  EXPECT_EQ(info.last_primary.members, ProcessSet::full(4));
+  EXPECT_EQ(info.ambiguous_count, 0u);
+  EXPECT_FALSE(info.blocked);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, AlgorithmContract,
+                         ::testing::ValuesIn(all_algorithm_kinds()),
+                         [](const ::testing::TestParamInfo<AlgorithmKind>& info) {
+                           std::string name(to_string(info.param));
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(AlgorithmNames, RoundTrip) {
+  for (AlgorithmKind kind : all_algorithm_kinds()) {
+    const auto parsed = algorithm_kind_from_string(to_string(kind));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_EQ(algorithm_kind_from_string("nonsense"), std::nullopt);
+}
+
+}  // namespace
+}  // namespace dynvote

@@ -1,0 +1,94 @@
+// Round-trip and malformed-input tests for the binary codec.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "util/codec.hpp"
+
+namespace dynvote {
+namespace {
+
+TEST(Encoder, VarintSmallValuesAreOneByte) {
+  Encoder enc;
+  enc.put_varint(0);
+  enc.put_varint(127);
+  EXPECT_EQ(enc.size(), 2u);
+}
+
+TEST(Encoder, VarintLargeValuesRoundTrip) {
+  const std::uint64_t values[] = {
+      0, 1, 127, 128, 300, 16383, 16384,
+      std::numeric_limits<std::uint32_t>::max(),
+      std::numeric_limits<std::uint64_t>::max()};
+  Encoder enc;
+  for (std::uint64_t v : values) enc.put_varint(v);
+  Decoder dec(enc.bytes());
+  for (std::uint64_t v : values) EXPECT_EQ(dec.get_varint(), v);
+  dec.finish();
+}
+
+TEST(Encoder, FixedU64RoundTripsAndIsLittleEndian) {
+  Encoder enc;
+  enc.put_u64_fixed(0x0102030405060708ULL);
+  ASSERT_EQ(enc.size(), 8u);
+  EXPECT_EQ(static_cast<unsigned>(enc.bytes()[0]), 0x08u);
+  EXPECT_EQ(static_cast<unsigned>(enc.bytes()[7]), 0x01u);
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_u64_fixed(), 0x0102030405060708ULL);
+}
+
+TEST(Encoder, StringsAndBytesRoundTrip) {
+  Encoder enc;
+  enc.put_string("hello");
+  enc.put_string("");
+  std::vector<std::byte> blob{std::byte{1}, std::byte{2}, std::byte{3}};
+  enc.put_bytes(blob);
+  enc.put_bool(true);
+  enc.put_bool(false);
+
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_string(), "hello");
+  EXPECT_EQ(dec.get_string(), "");
+  EXPECT_EQ(dec.get_bytes(), blob);
+  EXPECT_TRUE(dec.get_bool());
+  EXPECT_FALSE(dec.get_bool());
+  dec.finish();
+}
+
+TEST(Decoder, TruncatedVarintThrows) {
+  const std::byte bytes[] = {std::byte{0x80}};  // continuation, no terminator
+  Decoder dec(bytes);
+  EXPECT_THROW(dec.get_varint(), DecodeError);
+}
+
+TEST(Decoder, TruncatedFixedThrows) {
+  const std::byte bytes[] = {std::byte{1}, std::byte{2}};
+  Decoder dec(bytes);
+  EXPECT_THROW(dec.get_u64_fixed(), DecodeError);
+}
+
+TEST(Decoder, OverlongVarintThrows) {
+  // 11 continuation bytes: longer than any valid 64-bit varint.
+  std::vector<std::byte> bytes(11, std::byte{0x80});
+  Decoder dec(bytes);
+  EXPECT_THROW(dec.get_varint(), DecodeError);
+}
+
+TEST(Decoder, TrailingBytesFailFinish) {
+  Encoder enc;
+  enc.put_varint(7);
+  enc.put_varint(8);
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_varint(), 7u);
+  EXPECT_THROW(dec.finish(), DecodeError);
+}
+
+TEST(Decoder, LengthPrefixBeyondInputThrows) {
+  Encoder enc;
+  enc.put_varint(100);  // claims 100 bytes follow
+  Decoder dec(enc.bytes());
+  EXPECT_THROW(dec.get_bytes(), DecodeError);
+}
+
+}  // namespace
+}  // namespace dynvote

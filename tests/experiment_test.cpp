@@ -1,0 +1,85 @@
+// The experiment runner: seeding discipline (schedules shared across
+// algorithms, never influenced by them), mode semantics, aggregation.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "sim/experiment.hpp"
+
+namespace dynvote {
+namespace {
+
+CaseSpec small_case(AlgorithmKind kind) {
+  CaseSpec spec;
+  spec.algorithm = kind;
+  spec.processes = 16;
+  spec.changes = 4;
+  spec.mean_rounds = 3.0;
+  spec.runs = 40;
+  spec.base_seed = 777;
+  return spec;
+}
+
+TEST(Experiment, RunCaseAggregatesAllRuns) {
+  const CaseResult r = run_case(small_case(AlgorithmKind::kYkd));
+  EXPECT_EQ(r.runs, 40u);
+  EXPECT_EQ(r.success_per_run.size(), 40u);
+  EXPECT_EQ(r.stable.samples, 40u);
+  EXPECT_EQ(r.in_progress.samples, 40u * 4u);
+  EXPECT_EQ(r.total_changes, 160u);
+  EXPECT_GE(r.availability_percent(), 0.0);
+  EXPECT_LE(r.availability_percent(), 100.0);
+}
+
+TEST(Experiment, DeterministicAcrossInvocations) {
+  const CaseResult a = run_case(small_case(AlgorithmKind::kDfls));
+  const CaseResult b = run_case(small_case(AlgorithmKind::kDfls));
+  EXPECT_EQ(a.successes, b.successes);
+  EXPECT_EQ(a.success_per_run, b.success_per_run);
+  EXPECT_EQ(a.total_rounds, b.total_rounds);
+}
+
+TEST(Experiment, UnoptimizedYkdAvailabilityIsIdenticalToYkd) {
+  // The thesis's §4.1 sanity property, here as a paired per-run assertion:
+  // the optimization never changes a decision, so the same schedule gives
+  // the same outcome, run by run.
+  const CaseResult ykd = run_case(small_case(AlgorithmKind::kYkd));
+  const CaseResult unopt = run_case(small_case(AlgorithmKind::kYkdUnoptimized));
+  EXPECT_EQ(ykd.success_per_run, unopt.success_per_run);
+}
+
+TEST(Experiment, CascadingSharesOneWorld) {
+  CaseSpec spec = small_case(AlgorithmKind::kYkd);
+  spec.mode = RunMode::kCascading;
+  const CaseResult r = run_case(spec);
+  EXPECT_EQ(r.runs, 40u);
+  EXPECT_EQ(r.total_changes, 160u);
+}
+
+TEST(Experiment, StandardSweeps) {
+  EXPECT_EQ(standard_rate_sweep().size(), 13u);
+  EXPECT_EQ(standard_rate_sweep().front(), 0.0);
+  EXPECT_EQ(standard_rate_sweep().back(), 12.0);
+  EXPECT_EQ(standard_change_counts(), (std::vector<std::size_t>{2, 6, 12}));
+}
+
+TEST(Experiment, EnvOverridesParse) {
+  ::setenv("DV_RUNS", "123", 1);
+  EXPECT_EQ(runs_from_env(7), 123u);
+  ::setenv("DV_RUNS", "not-a-number", 1);
+  EXPECT_EQ(runs_from_env(7), 7u);
+  ::unsetenv("DV_RUNS");
+  EXPECT_EQ(runs_from_env(7), 7u);
+
+  ::setenv("DV_SEED", "42", 1);
+  EXPECT_EQ(seed_from_env(1), 42u);
+  ::unsetenv("DV_SEED");
+}
+
+TEST(Experiment, ModeNames) {
+  EXPECT_STREQ(to_string(RunMode::kFreshStart), "fresh-start");
+  EXPECT_STREQ(to_string(RunMode::kCascading), "cascading");
+}
+
+}  // namespace
+}  // namespace dynvote

@@ -1,0 +1,117 @@
+// The randomized fault injector: distributional properties, feasibility,
+// and determinism.
+#include <gtest/gtest.h>
+
+#include "sim/fault_schedule.hpp"
+#include "util/assert.hpp"
+
+namespace dynvote {
+namespace {
+
+TEST(FaultScheduler, ZeroMeanGivesBackToBackChanges) {
+  FaultScheduler sched(1, 0.0);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sched.next_gap(), 0u);
+}
+
+TEST(FaultScheduler, GapMeanMatchesTheConfiguredRate) {
+  for (double mean : {1.0, 4.0, 12.0}) {
+    FaultScheduler sched(42, mean);
+    const int kSamples = 20000;
+    double total = 0;
+    for (int i = 0; i < kSamples; ++i) total += static_cast<double>(sched.next_gap());
+    const double observed = total / kSamples;
+    EXPECT_NEAR(observed, mean, mean * 0.1 + 0.05) << "mean=" << mean;
+  }
+}
+
+TEST(FaultScheduler, SameSeedSameSchedule) {
+  FaultScheduler a(7, 3.0);
+  FaultScheduler b(7, 3.0);
+  Topology ta(16), tb(16);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.next_gap(), b.next_gap());
+    const ConnectivityChange ca = a.next_change(ta);
+    const ConnectivityChange cb = b.next_change(tb);
+    EXPECT_EQ(ca.kind, cb.kind);
+    EXPECT_EQ(ca.component_a, cb.component_a);
+    EXPECT_EQ(ca.component_b, cb.component_b);
+    EXPECT_EQ(ca.moved, cb.moved);
+    // Apply to keep the topologies evolving identically.
+    if (ca.kind == ConnectivityChange::Kind::kPartition) {
+      ta.split(ca.component_a, ca.moved);
+      tb.split(cb.component_a, cb.moved);
+    } else {
+      ta.merge(ca.component_a, ca.component_b);
+      tb.merge(cb.component_a, cb.component_b);
+    }
+  }
+}
+
+TEST(FaultScheduler, FirstChangeOnConnectedTopologyIsAPartition) {
+  FaultScheduler sched(99, 1.0);
+  Topology topo(8);
+  const ConnectivityChange c = sched.next_change(topo);
+  EXPECT_EQ(c.kind, ConnectivityChange::Kind::kPartition);
+  EXPECT_EQ(c.component_a, 0u);
+  EXPECT_FALSE(c.moved.empty());
+  EXPECT_LT(c.moved.count(), 8u);
+}
+
+TEST(FaultScheduler, FullyFragmentedTopologyOnlyMerges) {
+  FaultScheduler sched(5, 1.0);
+  Topology topo(3);
+  topo.split(0, ProcessSet(3, {0}));
+  topo.split(0, ProcessSet(3, {1}));
+  for (int i = 0; i < 20; ++i) {
+    const ConnectivityChange c = sched.next_change(topo);
+    EXPECT_EQ(c.kind, ConnectivityChange::Kind::kMerge);
+    EXPECT_NE(c.component_a, c.component_b);
+    EXPECT_LT(c.component_a, 3u);
+    EXPECT_LT(c.component_b, 3u);
+  }
+}
+
+TEST(FaultScheduler, ChangesAreAlwaysFeasible) {
+  FaultScheduler sched(123, 0.5);
+  Topology topo(16);
+  for (int i = 0; i < 2000; ++i) {
+    const ConnectivityChange c = sched.next_change(topo);
+    if (c.kind == ConnectivityChange::Kind::kPartition) {
+      const ProcessSet& comp = topo.component(c.component_a);
+      EXPECT_TRUE(c.moved.is_subset_of(comp));
+      EXPECT_GE(c.moved.count(), 1u);
+      EXPECT_LT(c.moved.count(), comp.count());
+      topo.split(c.component_a, c.moved);
+    } else {
+      EXPECT_NE(c.component_a, c.component_b);
+      topo.merge(c.component_a, c.component_b);
+    }
+  }
+}
+
+TEST(FaultScheduler, SplitSizesCoverTheWholeRange) {
+  // "Partitions do not necessarily happen evenly": over many draws from a
+  // 16-process component, every moved-count 1..15 should occur.
+  std::set<std::size_t> seen;
+  FaultScheduler sched(321, 0.0);
+  for (int i = 0; i < 2000; ++i) {
+    Topology topo(16);
+    const ConnectivityChange c = sched.next_change(topo);
+    ASSERT_EQ(c.kind, ConnectivityChange::Kind::kPartition);
+    seen.insert(c.moved.count());
+  }
+  EXPECT_EQ(seen.size(), 15u);
+}
+
+TEST(FaultScheduler, NegativeMeanRejected) {
+  EXPECT_THROW(FaultScheduler(1, -1.0), PreconditionViolation);
+}
+
+TEST(FaultScheduler, SingleProcessTopologyRejected) {
+  FaultScheduler sched(1, 1.0);
+  Topology topo(1);
+  EXPECT_THROW(sched.next_change(topo), PreconditionViolation);
+}
+
+}  // namespace
+}  // namespace dynvote

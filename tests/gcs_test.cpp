@@ -1,0 +1,123 @@
+// The simulated group communication service: view installation, round
+// execution, quiescence, and wire statistics.
+#include <gtest/gtest.h>
+
+#include "gcs/gcs.hpp"
+#include "sim_test_util.hpp"
+#include "util/assert.hpp"
+
+namespace dynvote {
+namespace {
+
+using test::no_cross;
+using test::settle;
+
+TEST(Gcs, InitialViewIsInstalledEverywhere) {
+  Gcs gcs(AlgorithmKind::kYkd, 4);
+  for (ProcessId p = 0; p < 4; ++p) {
+    EXPECT_EQ(gcs.view_of(p).id, 1u);
+    EXPECT_EQ(gcs.view_of(p).members, ProcessSet::full(4));
+    EXPECT_TRUE(gcs.algorithm(p).in_primary());
+  }
+  EXPECT_TRUE(gcs.has_primary());
+}
+
+TEST(Gcs, PartitionInstallsDistinctViewsOnBothSides) {
+  Gcs gcs(AlgorithmKind::kSimpleMajority, 4);
+  gcs.apply_partition(0, ProcessSet(4, {2, 3}));
+  EXPECT_EQ(gcs.view_of(0).members, ProcessSet(4, {0, 1}));
+  EXPECT_EQ(gcs.view_of(3).members, ProcessSet(4, {2, 3}));
+  EXPECT_NE(gcs.view_of(0).id, gcs.view_of(3).id);
+  EXPECT_GT(gcs.view_of(0).id, 1u);
+}
+
+TEST(Gcs, MergeInstallsOneSharedView) {
+  Gcs gcs(AlgorithmKind::kSimpleMajority, 4);
+  gcs.apply_partition(0, ProcessSet(4, {2, 3}));
+  gcs.apply_merge(0, 1);
+  for (ProcessId p = 0; p < 4; ++p) {
+    EXPECT_EQ(gcs.view_of(p).members, ProcessSet::full(4));
+    EXPECT_EQ(gcs.view_of(p).id, gcs.view_of(0).id);
+  }
+}
+
+TEST(Gcs, ViewIdsAreStrictlyIncreasing) {
+  Gcs gcs(AlgorithmKind::kSimpleMajority, 4);
+  ViewId last = gcs.view_of(0).id;
+  gcs.apply_partition(0, ProcessSet(4, {3}));
+  EXPECT_GT(gcs.view_of(0).id, last);
+  last = gcs.view_of(3).id;
+  gcs.apply_merge(0, 1);
+  EXPECT_GT(gcs.view_of(0).id, last);
+}
+
+TEST(Gcs, StepRoundReportsQuiescence) {
+  Gcs gcs(AlgorithmKind::kYkd, 3);
+  // Initially quiescent: the initial view needs no protocol work.
+  EXPECT_FALSE(gcs.step_round());
+  gcs.apply_partition(0, ProcessSet(3, {2}));
+  // The partition triggers state exchange: rounds are active...
+  EXPECT_TRUE(gcs.step_round());
+  settle(gcs);
+  // ...until the protocol completes.
+  EXPECT_FALSE(gcs.step_round());
+}
+
+TEST(Gcs, YkdFormsPrimaryOnMajoritySideAfterTwoRounds) {
+  Gcs gcs(AlgorithmKind::kYkd, 5);
+  gcs.apply_partition(0, ProcessSet(5, {3, 4}));
+  EXPECT_FALSE(gcs.has_primary());  // views installed, nothing formed yet
+  gcs.step_round();                 // states multicast
+  gcs.step_round();                 // states delivered, attempts multicast
+  EXPECT_FALSE(gcs.has_primary());
+  gcs.step_round();                 // attempts delivered: primary formed
+  EXPECT_TRUE(test::all_in_primary(gcs, ProcessSet(5, {0, 1, 2})));
+  EXPECT_FALSE(gcs.algorithm(3).in_primary());
+}
+
+TEST(Gcs, WireStatsCountProtocolTraffic) {
+  Gcs gcs(AlgorithmKind::kYkd, 4, GcsOptions{.measure_wire_sizes = true});
+  gcs.apply_partition(0, ProcessSet(4, {3}));
+  settle(gcs);
+  const WireStats& stats = gcs.wire_stats();
+  EXPECT_GT(stats.messages_sent, 0u);
+  EXPECT_EQ(stats.messages_sent, stats.protocol_messages_sent);
+  EXPECT_GT(stats.max_message_bytes, 0u);
+  EXPECT_GE(stats.total_message_bytes,
+            stats.max_message_bytes * stats.messages_sent / 4);
+}
+
+TEST(Gcs, SimpleMajoritySendsNothing) {
+  Gcs gcs(AlgorithmKind::kSimpleMajority, 8);
+  gcs.apply_partition(0, ProcessSet(8, {6, 7}));
+  settle(gcs);
+  EXPECT_EQ(gcs.wire_stats().messages_sent, 0u);
+}
+
+TEST(Gcs, CustomFactoryIsUsed) {
+  int constructed = 0;
+  Gcs gcs(
+      [&constructed](ProcessId self, const View& initial) {
+        ++constructed;
+        return make_algorithm(AlgorithmKind::kSimpleMajority, self, initial);
+      },
+      5);
+  EXPECT_EQ(constructed, 5);
+  EXPECT_EQ(gcs.process_count(), 5u);
+}
+
+TEST(Gcs, InvalidProcessIdThrows) {
+  Gcs gcs(AlgorithmKind::kYkd, 3);
+  EXPECT_THROW((void)gcs.algorithm(3), PreconditionViolation);
+  EXPECT_THROW((void)gcs.view_of(99), PreconditionViolation);
+}
+
+TEST(Gcs, PartitionRequiresNonEmptySides) {
+  Gcs gcs(AlgorithmKind::kYkd, 3);
+  EXPECT_THROW(gcs.apply_partition(0, ProcessSet(3)), PreconditionViolation);
+  EXPECT_THROW(gcs.apply_partition(0, ProcessSet::full(3)),
+               PreconditionViolation);
+}
+
+}  // namespace
+}  // namespace dynvote

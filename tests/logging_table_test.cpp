@@ -1,0 +1,67 @@
+// Coverage for the support utilities: the leveled logger and the CSV
+// side-channel of the table writer.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "sim/table.hpp"
+#include "util/logging.hpp"
+
+namespace dynvote {
+namespace {
+
+TEST(Logging, LevelRoundTripAndThreshold) {
+  const LogLevel original = log_level();
+
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(LogLevel::kTrace);
+  EXPECT_EQ(log_level(), LogLevel::kTrace);
+
+  set_log_level(original);
+}
+
+TEST(Logging, ParseNames) {
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("bogus"), LogLevel::kWarn);
+}
+
+TEST(Logging, MacroHonorsThreshold) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kError);
+  int evaluations = 0;
+  // The stream expression must not even be evaluated above the threshold.
+  DV_LOG_DEBUG("side effect " << ++evaluations);
+  EXPECT_EQ(evaluations, 0);
+  set_log_level(original);
+}
+
+TEST(Csv, WritesWhenDirectoryConfigured) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "dynvote_csv_test";
+  fs::create_directories(dir);
+  ::setenv("DV_CSV_DIR", dir.c_str(), 1);
+
+  EXPECT_TRUE(maybe_write_csv("unit", "a,b\n1,2\n"));
+  std::ifstream in(dir / "unit.csv");
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, "a,b\n1,2\n");
+
+  ::unsetenv("DV_CSV_DIR");
+  fs::remove_all(dir);
+}
+
+TEST(Csv, NoopWithoutConfiguration) {
+  ::unsetenv("DV_CSV_DIR");
+  EXPECT_FALSE(maybe_write_csv("unit", "a\n"));
+}
+
+}  // namespace
+}  // namespace dynvote

@@ -1,0 +1,179 @@
+// Wire round-trips for every protocol payload, plus malformed-input
+// rejection and the message envelope.
+#include <gtest/gtest.h>
+
+#include "core/message.hpp"
+#include "core/payload.hpp"
+
+namespace dynvote {
+namespace {
+
+Session make_session(SessionNumber number, std::initializer_list<ProcessId> ids) {
+  return Session{number, ProcessSet(64, ids)};
+}
+
+template <typename T>
+std::shared_ptr<const T> round_trip(const T& payload) {
+  const auto bytes = encode_payload(payload);
+  const PayloadPtr decoded = decode_payload(bytes);
+  EXPECT_EQ(decoded->type(), payload.type());
+  EXPECT_EQ(decoded->view_id, payload.view_id);
+  return std::static_pointer_cast<const T>(decoded);
+}
+
+TEST(Payload, StateExchangeRoundTrip) {
+  StateExchangePayload p;
+  p.view_id = 42;
+  p.session_number = 17;
+  p.last_primary = make_session(9, {0, 1, 2});
+  p.ambiguous = {make_session(11, {0, 1}), make_session(12, {0, 1, 2, 3})};
+  p.last_formed.assign(4, make_session(9, {0, 1, 2}));
+  p.last_formed[3] = make_session(5, {0, 3});
+
+  const auto decoded = round_trip(p);
+  EXPECT_EQ(decoded->session_number, 17u);
+  EXPECT_EQ(decoded->last_primary, p.last_primary);
+  EXPECT_EQ(decoded->ambiguous, p.ambiguous);
+  EXPECT_EQ(decoded->last_formed, p.last_formed);
+}
+
+TEST(Payload, AttemptRoundTrip) {
+  AttemptPayload p;
+  p.view_id = 7;
+  p.proposal = make_session(13, {1, 5, 9});
+  EXPECT_EQ(round_trip(p)->proposal, p.proposal);
+}
+
+TEST(Payload, GcRoundRoundTrip) {
+  GcRoundPayload p;
+  p.view_id = 3;
+  p.formed_number = 999;
+  EXPECT_EQ(round_trip(p)->formed_number, 999u);
+}
+
+TEST(Payload, Mr1pPendingRoundTrip) {
+  Mr1pPendingPayload p;
+  p.view_id = 5;
+  p.has_pending = true;
+  p.pending = make_session(21, {2, 3});
+  p.num = 4;
+  p.status = Mr1pStatus::kAttempt;
+  const auto d = round_trip(p);
+  EXPECT_TRUE(d->has_pending);
+  EXPECT_EQ(d->pending, p.pending);
+  EXPECT_EQ(d->num, 4u);
+  EXPECT_EQ(d->status, Mr1pStatus::kAttempt);
+}
+
+TEST(Payload, Mr1pReplyBatchRoundTrip) {
+  Mr1pReplyPayload p;
+  p.view_id = 6;
+  p.replies.push_back({make_session(1, {0, 1}), Mr1pVerdict::kFormed, 0});
+  p.replies.push_back({make_session(2, {2, 3}), Mr1pVerdict::kStatusSent, 1});
+  p.replies.push_back({make_session(3, {4}), Mr1pVerdict::kAborted, 0});
+  EXPECT_EQ(round_trip(p)->replies, p.replies);
+}
+
+TEST(Payload, Mr1pResolveProposeAttemptRoundTrip) {
+  Mr1pResolvePayload r;
+  r.view_id = 8;
+  r.about = make_session(4, {0, 2});
+  r.call = Mr1pVerdict::kStatusTryFail;
+  EXPECT_EQ(round_trip(r)->call, Mr1pVerdict::kStatusTryFail);
+
+  Mr1pProposePayload prop;
+  prop.view_id = 9;
+  prop.proposal = make_session(10, {0, 1, 2});
+  EXPECT_EQ(round_trip(prop)->proposal, prop.proposal);
+
+  Mr1pAttemptPayload att;
+  att.view_id = 10;
+  att.proposal = make_session(10, {0, 1, 2});
+  EXPECT_EQ(round_trip(att)->proposal, att.proposal);
+}
+
+TEST(Payload, UnknownTypeByteRejected) {
+  std::vector<std::byte> bytes{std::byte{0xEE}, std::byte{0}};
+  EXPECT_THROW(decode_payload(bytes), DecodeError);
+}
+
+TEST(Payload, TruncatedBodyRejected) {
+  AttemptPayload p;
+  p.proposal = make_session(13, {1, 5});
+  auto bytes = encode_payload(p);
+  bytes.resize(bytes.size() / 2);
+  EXPECT_THROW(decode_payload(bytes), DecodeError);
+}
+
+TEST(Payload, TrailingGarbageRejected) {
+  GcRoundPayload p;
+  auto bytes = encode_payload(p);
+  bytes.push_back(std::byte{0});
+  EXPECT_THROW(decode_payload(bytes), DecodeError);
+}
+
+TEST(Payload, BadVerdictRejected) {
+  Mr1pResolvePayload r;
+  r.about = make_session(4, {0});
+  r.call = Mr1pVerdict::kStatusTryFail;
+  auto bytes = encode_payload(r);
+  bytes.back() = std::byte{0x63};  // the call byte is encoded last
+  EXPECT_THROW(decode_payload(bytes), DecodeError);
+}
+
+TEST(Payload, WireSizeMatchesEncoding) {
+  StateExchangePayload p;
+  p.last_primary = make_session(9, {0, 1, 2});
+  p.last_formed.assign(64, make_session(9, {0, 1, 2}));
+  EXPECT_EQ(payload_wire_size(p), encode_payload(p).size());
+}
+
+TEST(Payload, StateSizeAt64ProcessesIsUnderTwoKilobytes) {
+  // The thesis: "message sizes can typically be constrained to two
+  // kilobytes or less" for 64 processes.  A full state payload: last
+  // primary, a typical handful of ambiguous sessions, and all 64 lastFormed
+  // entries.
+  StateExchangePayload p;
+  p.session_number = 1000;
+  p.last_primary = Session{999, ProcessSet::full(64)};
+  for (int i = 0; i < 4; ++i) {
+    p.ambiguous.push_back(Session{1000u + i, ProcessSet::full(64)});
+  }
+  p.last_formed.assign(64, Session{999, ProcessSet::full(64)});
+  EXPECT_LE(payload_wire_size(p), 2048u);
+}
+
+TEST(Message, SerializeParseRoundTrip) {
+  Message m = Message::from_text("hello world");
+  auto att = std::make_shared<AttemptPayload>();
+  att->view_id = 12;
+  att->proposal = make_session(3, {0, 1});
+  m.protocol = att;
+
+  const auto bytes = m.serialize();
+  const Message parsed = Message::parse(bytes);
+  EXPECT_EQ(parsed.app_data, m.app_data);
+  ASSERT_TRUE(parsed.has_protocol());
+  EXPECT_EQ(parsed.protocol->type(), PayloadType::kAttempt);
+  EXPECT_EQ(
+      static_cast<const AttemptPayload&>(*parsed.protocol).proposal,
+      att->proposal);
+}
+
+TEST(Message, EmptyMessageRoundTrip) {
+  const Message empty = Message::empty();
+  const Message parsed = Message::parse(empty.serialize());
+  EXPECT_TRUE(parsed.app_data.empty());
+  EXPECT_FALSE(parsed.has_protocol());
+}
+
+TEST(Message, WireSizeCountsAppAndProtocol) {
+  Message m = Message::from_text("abc");
+  EXPECT_EQ(m.wire_size(), 4u);  // 3 app bytes + presence byte
+  auto gc = std::make_shared<GcRoundPayload>();
+  m.protocol = gc;
+  EXPECT_EQ(m.wire_size(), 4u + payload_wire_size(*gc));
+}
+
+}  // namespace
+}  // namespace dynvote

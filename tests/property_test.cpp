@@ -1,0 +1,127 @@
+// Property sweeps: randomized histories checked against the safety and
+// sanity invariants, parameterized over every algorithm and many seeds.
+// This is the scaled-down always-on version of the thesis's trial-by-fire
+// (the full-scale version lives in soak_test).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "sim/driver.hpp"
+#include "sim/experiment.hpp"
+
+namespace dynvote {
+namespace {
+
+using PropertyParam = std::tuple<AlgorithmKind, std::uint64_t /*seed*/>;
+
+class AlgorithmProperties : public ::testing::TestWithParam<PropertyParam> {};
+
+TEST_P(AlgorithmProperties, RandomHistoriesKeepAllInvariants) {
+  const auto [kind, seed] = GetParam();
+  SimulationConfig config;
+  config.algorithm = kind;
+  config.processes = 12;
+  config.changes_per_run = 10;
+  config.mean_rounds_between_changes = 1.5;
+  config.seed = seed;
+  config.check_invariants = true;  // agreement, one primary, monotonicity
+
+  Simulation sim(config);
+  for (int run = 0; run < 8; ++run) {
+    const RunResult r = sim.run_once();
+    EXPECT_EQ(r.changes_applied, 10u);
+    // Quiescence reached within the budget (run_once asserts internally);
+    // the network must be drained.
+    EXPECT_TRUE(sim.gcs().network_idle());
+  }
+  EXPECT_GT(sim.invariant_checks(), 0u);
+}
+
+TEST_P(AlgorithmProperties, FullReunionAfterTurbulence) {
+  // After any history, merging everyone back into one component must
+  // always recover: every algorithm eventually re-forms a primary in the
+  // full view.  (For YKD this is the thesis's recovery property; for the
+  // others it is the weakest liveness one can demand.)
+  const auto [kind, seed] = GetParam();
+  SimulationConfig config;
+  config.algorithm = kind;
+  config.processes = 10;
+  config.changes_per_run = 12;
+  config.mean_rounds_between_changes = 1.0;
+  config.seed = seed;
+
+  Simulation sim(config);
+  (void)sim.run_once();
+
+  Gcs& gcs = sim.gcs();
+  while (gcs.topology().component_count() > 1) {
+    gcs.apply_merge(0, 1);
+  }
+  for (int i = 0; i < 50 && gcs.step_round(); ++i) {
+  }
+  for (ProcessId p = 0; p < gcs.process_count(); ++p) {
+    EXPECT_TRUE(gcs.algorithm(p).in_primary())
+        << to_string(kind) << " process " << p << " seed " << seed;
+  }
+}
+
+TEST_P(AlgorithmProperties, StableStateAfterSuccessHoldsNoAmbiguity) {
+  // "At the conclusion of a successful run, none of the algorithms retains
+  // any ambiguous sessions at all" (thesis §4.2) -- for the observer, on
+  // runs that end with the observer in the primary.
+  const auto [kind, seed] = GetParam();
+  SimulationConfig config;
+  config.algorithm = kind;
+  config.processes = 12;
+  config.changes_per_run = 6;
+  config.mean_rounds_between_changes = 2.0;
+  config.seed = seed;
+
+  Simulation sim(config);
+  for (int run = 0; run < 6; ++run) {
+    const RunResult r = sim.run_once();
+    if (sim.gcs().algorithm(0).in_primary()) {
+      EXPECT_EQ(r.observer_ambiguous_at_end, 0u) << to_string(kind);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithmsManySeeds, AlgorithmProperties,
+    ::testing::Combine(::testing::ValuesIn(all_algorithm_kinds()),
+                       ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u)),
+    [](const ::testing::TestParamInfo<PropertyParam>& info) {
+      std::string name(to_string(std::get<0>(info.param)));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+// YKD-specific cross-algorithm property at larger scale: the unoptimized
+// variant must match run by run over a genuine sweep.
+class YkdEquivalence : public ::testing::TestWithParam<double /*rate*/> {};
+
+TEST_P(YkdEquivalence, OptimizationNeverChangesAnOutcome) {
+  CaseSpec spec;
+  spec.processes = 24;
+  spec.changes = 8;
+  spec.mean_rounds = GetParam();
+  spec.runs = 30;
+  spec.base_seed = 0xF00D;
+
+  spec.algorithm = AlgorithmKind::kYkd;
+  const CaseResult ykd = run_case(spec);
+  spec.algorithm = AlgorithmKind::kYkdUnoptimized;
+  const CaseResult unopt = run_case(spec);
+
+  EXPECT_EQ(ykd.success_per_run, unopt.success_per_run);
+  // The unoptimized variant may retain more, never less.
+  EXPECT_GE(unopt.stable.max_observed, ykd.stable.max_observed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, YkdEquivalence,
+                         ::testing::Values(0.0, 1.0, 3.0, 8.0));
+
+}  // namespace
+}  // namespace dynvote

@@ -1,0 +1,127 @@
+// Regression net over the paper's qualitative findings, at reduced scale
+// so it runs in seconds.  If a refactor breaks one of these orderings, the
+// reproduction is broken even if every unit test passes.
+//
+// Tolerances are loose (the assertions are about ordering and regime, not
+// points); the benches measure the same quantities at full scale.
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+
+namespace dynvote {
+namespace {
+
+CaseResult measure(AlgorithmKind kind, std::size_t changes, double rate,
+                   RunMode mode = RunMode::kFreshStart) {
+  CaseSpec spec;
+  spec.algorithm = kind;
+  spec.processes = 24;
+  spec.changes = changes;
+  spec.mean_rounds = rate;
+  spec.runs = 150;
+  spec.mode = mode;
+  spec.base_seed = 0xBEEF;
+  return run_case(spec);
+}
+
+double availability(AlgorithmKind kind, std::size_t changes, double rate,
+                    RunMode mode = RunMode::kFreshStart) {
+  return measure(kind, changes, rate, mode).availability_percent();
+}
+
+TEST(Reproduction, AtRateZeroEveryAlgorithmCollapsesToSimpleMajority) {
+  // "The algorithms are shown to be about as available as the simple
+  // majority algorithm when the connectivity changes occur rapidly."
+  const double sm = availability(AlgorithmKind::kSimpleMajority, 6, 0.0);
+  for (AlgorithmKind kind :
+       {AlgorithmKind::kYkd, AlgorithmKind::kDfls, AlgorithmKind::kOnePending}) {
+    EXPECT_NEAR(availability(kind, 6, 0.0), sm, 3.0) << to_string(kind);
+  }
+  // MR1p may sit slightly below even here (it can leave a pending proposal
+  // behind); allow a wider band on one side.
+  EXPECT_LE(availability(AlgorithmKind::kMr1p, 6, 0.0), sm + 3.0);
+  EXPECT_GE(availability(AlgorithmKind::kMr1p, 6, 0.0), sm - 10.0);
+}
+
+TEST(Reproduction, AvailabilityImprovesWithStability) {
+  // "As expected, the availability improves as the conditions become more
+  // stable" -- compare the turbulent end against the stable end.
+  for (AlgorithmKind kind : {AlgorithmKind::kYkd, AlgorithmKind::kOnePending}) {
+    EXPECT_GT(availability(kind, 6, 10.0) + 2.0, availability(kind, 6, 0.0))
+        << to_string(kind);
+  }
+}
+
+TEST(Reproduction, YkdDominatesDfls) {
+  // "It [DFLS] is less available than YKD for all failure patterns" --
+  // never better, paired on the identical schedules.
+  for (std::size_t changes : {2u, 6u, 12u}) {
+    for (double rate : {1.0, 4.0, 8.0}) {
+      const CaseResult ykd = measure(AlgorithmKind::kYkd, changes, rate);
+      const CaseResult dfls = measure(AlgorithmKind::kDfls, changes, rate);
+      EXPECT_GE(ykd.successes + 1, dfls.successes)
+          << "changes=" << changes << " rate=" << rate;
+    }
+  }
+}
+
+TEST(Reproduction, OnePendingDegradesDrasticallyWithChangeCount) {
+  // "The 1-pending and MR1p algorithms are significantly less available
+  // than YKD and DFLS ... their availability degrades drastically as the
+  // number of connectivity changes increases."
+  const double gap_2 = availability(AlgorithmKind::kYkd, 2, 2.0) -
+                       availability(AlgorithmKind::kOnePending, 2, 2.0);
+  const double gap_12 = availability(AlgorithmKind::kYkd, 12, 2.0) -
+                        availability(AlgorithmKind::kOnePending, 12, 2.0);
+  EXPECT_GT(gap_12, gap_2);
+  EXPECT_GT(gap_12, 8.0);
+}
+
+TEST(Reproduction, Mr1pIsNearlyYkdAtTwoChanges) {
+  // "In the 'fresh start' tests with two connectivity changes, we observe
+  // that MR1p is almost as available as YKD."
+  EXPECT_NEAR(availability(AlgorithmKind::kMr1p, 2, 4.0),
+              availability(AlgorithmKind::kYkd, 2, 4.0), 4.0);
+}
+
+TEST(Reproduction, Mr1pFallsBehindAsChangesGrow) {
+  EXPECT_LT(availability(AlgorithmKind::kMr1p, 12, 2.0),
+            availability(AlgorithmKind::kYkd, 12, 2.0) - 5.0);
+}
+
+TEST(Reproduction, CascadingDoesNotDegradeYkd) {
+  // "YKD and DFLS provide almost identical availability in tests with
+  // cascading failures as in tests with a fresh start" (2 changes).
+  const double fresh = availability(AlgorithmKind::kYkd, 2, 2.0);
+  const double cascading =
+      availability(AlgorithmKind::kYkd, 2, 2.0, RunMode::kCascading);
+  EXPECT_GT(cascading, fresh - 6.0);
+}
+
+TEST(Reproduction, CascadingCrushesOnePending) {
+  // "The availability of the 1-pending algorithm dramatically degrades in
+  // the cascading situation."
+  const double fresh = availability(AlgorithmKind::kOnePending, 2, 2.0);
+  const double cascading =
+      availability(AlgorithmKind::kOnePending, 2, 2.0, RunMode::kCascading);
+  EXPECT_LT(cascading, fresh - 20.0);
+
+  // And YKD keeps a commanding lead over it in that regime.
+  EXPECT_LT(cascading,
+            availability(AlgorithmKind::kYkd, 2, 2.0, RunMode::kCascading) -
+                20.0);
+}
+
+TEST(Reproduction, AmbiguousSessionsAreDominantlyZero) {
+  // §4.2: "The number of retained ambiguous sessions was dominantly zero."
+  for (AlgorithmKind kind :
+       {AlgorithmKind::kYkd, AlgorithmKind::kYkdUnoptimized,
+        AlgorithmKind::kDfls}) {
+    const CaseResult r = measure(kind, 6, 2.0);
+    EXPECT_GT(r.in_progress.percent(0), 60.0) << to_string(kind);
+    EXPECT_LE(r.in_progress.max_observed, 9u) << to_string(kind);
+  }
+}
+
+}  // namespace
+}  // namespace dynvote

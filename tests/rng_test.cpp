@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace dynvote {
+namespace {
+
+TEST(Rng, DeterministicForAGivenSeed) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, UniformIsInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsAboutHalf) {
+  Rng rng(13);
+  double total = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) total += rng.uniform();
+  EXPECT_NEAR(total / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowStaysInRangeAndHitsAllValues) {
+  Rng rng(21);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.below(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, BelowZeroBoundThrows) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.below(0), PreconditionViolation);
+}
+
+TEST(Rng, BetweenIsInclusive) {
+  Rng rng(33);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.between(3, 5));
+  EXPECT_EQ(seen, (std::set<std::uint64_t>{3, 4, 5}));
+  EXPECT_EQ(rng.between(9, 9), 9u);
+  EXPECT_THROW((void)rng.between(5, 3), PreconditionViolation);
+}
+
+TEST(Rng, ChanceRespectsExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.5));   // clamped
+    EXPECT_FALSE(rng.chance(-0.5));
+  }
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(MixSeed, DistinguishesCoordinates) {
+  // Different case coordinates must land in different streams.
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t a = 0; a < 5; ++a) {
+    for (std::uint64_t b = 0; b < 5; ++b) {
+      for (std::uint64_t c = 0; c < 5; ++c) {
+        seeds.insert(mix_seed(42, a, b, c));
+      }
+    }
+  }
+  EXPECT_EQ(seeds.size(), 125u);
+}
+
+TEST(MixSeed, IsAPureFunction) {
+  EXPECT_EQ(mix_seed(1, 2, 3, 4, 5), mix_seed(1, 2, 3, 4, 5));
+  EXPECT_NE(mix_seed(1, 2, 3, 4, 5), mix_seed(1, 2, 3, 5, 4));
+}
+
+}  // namespace
+}  // namespace dynvote

@@ -1,0 +1,45 @@
+// Shared helpers for algorithm and harness tests.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "gcs/gcs.hpp"
+
+namespace dynvote::test {
+
+/// Run rounds until quiescent; fails the test if the system chatters past
+/// `max_rounds`.
+inline void settle(Gcs& gcs, std::size_t max_rounds = 200) {
+  for (std::size_t i = 0; i < max_rounds; ++i) {
+    if (!gcs.step_round()) return;
+  }
+  FAIL() << "system did not quiesce within " << max_rounds << " rounds";
+}
+
+/// True iff every member of `members` is in a primary component.
+inline bool all_in_primary(const Gcs& gcs, const ProcessSet& members) {
+  bool all = true;
+  members.for_each([&](ProcessId p) {
+    if (!gcs.algorithm(p).in_primary()) all = false;
+  });
+  return all;
+}
+
+/// Number of processes currently claiming to be in a primary component.
+inline std::size_t primary_member_count(const Gcs& gcs) {
+  std::size_t n = 0;
+  for (ProcessId p = 0; p < gcs.process_count(); ++p) {
+    if (gcs.algorithm(p).in_primary()) ++n;
+  }
+  return n;
+}
+
+/// Cross-delivery policies for scripted partitions.
+inline Network::CrossDeliveryFn no_cross() {
+  return [](ProcessId) { return false; };
+}
+inline Network::CrossDeliveryFn all_cross() {
+  return [](ProcessId) { return true; };
+}
+
+}  // namespace dynvote::test

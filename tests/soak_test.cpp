@@ -1,0 +1,54 @@
+// The trial-by-fire (thesis §2.2): "Each of the algorithms was subjected to
+// over 1,310,000 connectivity changes, and none of them demonstrated an
+// inconsistency, leaked memory, or crashed."
+//
+// The default run keeps ctest fast (a few thousand changes per algorithm);
+// set DV_SOAK_CHANGES=1310000 to reproduce the thesis-scale soak.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "sim/driver.hpp"
+
+namespace dynvote {
+namespace {
+
+std::size_t soak_changes() {
+  const char* raw = std::getenv("DV_SOAK_CHANGES");
+  if (raw == nullptr || *raw == '\0') return 4000;
+  return static_cast<std::size_t>(std::strtoull(raw, nullptr, 10));
+}
+
+class Soak : public ::testing::TestWithParam<AlgorithmKind> {};
+
+TEST_P(Soak, MillionsOfChangesNoInconsistency) {
+  const std::size_t total = soak_changes();
+  SimulationConfig config;
+  config.algorithm = GetParam();
+  config.processes = 32;
+  config.changes_per_run = 25;
+  config.mean_rounds_between_changes = 1.0;
+  config.seed = 0x50AC;
+  config.check_invariants = true;
+
+  Simulation sim(config);
+  while (sim.total_changes() < total) {
+    ASSERT_NO_THROW((void)sim.run_once())
+        << to_string(GetParam()) << " after " << sim.total_changes()
+        << " changes";
+  }
+  EXPECT_GE(sim.total_changes(), total);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, Soak,
+                         ::testing::ValuesIn(all_algorithm_kinds()),
+                         [](const ::testing::TestParamInfo<AlgorithmKind>& info) {
+                           std::string name(to_string(info.param));
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace dynvote

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "sim/stats.hpp"
+#include "sim/table.hpp"
+
+namespace dynvote {
+namespace {
+
+TEST(AmbiguityHistogram, BucketsAndOverflow) {
+  AmbiguityHistogram h;
+  for (std::size_t c : {0u, 0u, 1u, 2u, 3u, 4u, 9u}) h.record(c);
+  EXPECT_EQ(h.samples, 7u);
+  EXPECT_EQ(h.buckets[0], 2u);
+  EXPECT_EQ(h.buckets[1], 1u);
+  EXPECT_EQ(h.buckets[2], 1u);
+  EXPECT_EQ(h.buckets[3], 1u);
+  EXPECT_EQ(h.buckets[4], 2u);  // 4 and 9 share the 4+ bucket
+  EXPECT_EQ(h.max_observed, 9u);
+  EXPECT_NEAR(h.percent(0), 100.0 * 2 / 7, 1e-9);
+  EXPECT_NEAR(h.percent_nonzero(), 100.0 * 5 / 7, 1e-9);
+}
+
+TEST(AmbiguityHistogram, EmptyIsZero) {
+  const AmbiguityHistogram h;
+  EXPECT_EQ(h.percent(0), 0.0);
+  EXPECT_EQ(h.percent_nonzero(), 0.0);
+}
+
+TEST(AmbiguityHistogram, MergeAccumulates) {
+  AmbiguityHistogram a, b;
+  a.record(0);
+  a.record(2);
+  b.record(5);
+  a.merge(b);
+  EXPECT_EQ(a.samples, 3u);
+  EXPECT_EQ(a.max_observed, 5u);
+  EXPECT_EQ(a.buckets[4], 1u);
+}
+
+TEST(CaseResult, RecordsRuns) {
+  CaseResult r;
+  RunResult success;
+  success.primary_at_end = true;
+  success.observer_ambiguous_at_end = 0;
+  success.observer_ambiguous_at_changes = {1, 0, 2};
+  success.rounds_executed = 10;
+  success.changes_applied = 3;
+  r.record(success);
+
+  RunResult failure;
+  failure.primary_at_end = false;
+  failure.observer_ambiguous_at_end = 2;
+  r.record(failure);
+
+  EXPECT_EQ(r.runs, 2u);
+  EXPECT_EQ(r.successes, 1u);
+  EXPECT_EQ(r.availability_percent(), 50.0);
+  EXPECT_EQ(r.stable.samples, 2u);
+  EXPECT_EQ(r.in_progress.samples, 3u);
+  EXPECT_EQ(r.success_per_run, (std::vector<bool>{true, false}));
+}
+
+TEST(CaseResult, PairedComparison) {
+  CaseResult a, b;
+  const bool a_runs[] = {true, true, false, true};
+  const bool b_runs[] = {true, false, false, false};
+  for (bool ok : a_runs) {
+    RunResult r;
+    r.primary_at_end = ok;
+    a.record(r);
+  }
+  for (bool ok : b_runs) {
+    RunResult r;
+    r.primary_at_end = ok;
+    b.record(r);
+  }
+  EXPECT_EQ(percent_a_wins(a, b), 50.0);   // runs 2 and 4
+  EXPECT_EQ(percent_a_wins(b, a), 0.0);
+}
+
+TEST(CaseResult, PairedComparisonRequiresEqualLength) {
+  CaseResult a, b;
+  RunResult r;
+  a.record(r);
+  EXPECT_THROW((void)percent_a_wins(a, b), PreconditionViolation);
+}
+
+TEST(TextTable, AlignsAndRenders) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22.5"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| alpha |"), std::string::npos);
+  EXPECT_NE(out.find("value"), std::string::npos);
+  // All lines share the same width.
+  std::istringstream lines(out);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(lines, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(TextTable, CsvOutput) {
+  TextTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(TextTable, RowWidthMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), PreconditionViolation);
+}
+
+TEST(Format, FixedPrecision) {
+  EXPECT_EQ(format_double(97.25), "97.2");
+  EXPECT_EQ(format_double(97.25, 2), "97.25");
+  EXPECT_EQ(format_double(0.0), "0.0");
+}
+
+}  // namespace
+}  // namespace dynvote
