@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_mr1p_policy"
+  "../bench/ablation_mr1p_policy.pdb"
+  "CMakeFiles/ablation_mr1p_policy.dir/ablation_mr1p_policy.cpp.o"
+  "CMakeFiles/ablation_mr1p_policy.dir/ablation_mr1p_policy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mr1p_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_unoptimized_ykd"
+  "../bench/ablation_unoptimized_ykd.pdb"
+  "CMakeFiles/ablation_unoptimized_ykd.dir/ablation_unoptimized_ykd.cpp.o"
+  "CMakeFiles/ablation_unoptimized_ykd.dir/ablation_unoptimized_ykd.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_unoptimized_ykd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

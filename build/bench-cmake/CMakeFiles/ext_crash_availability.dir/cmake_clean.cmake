@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_crash_availability"
+  "../bench/ext_crash_availability.pdb"
+  "CMakeFiles/ext_crash_availability.dir/ext_crash_availability.cpp.o"
+  "CMakeFiles/ext_crash_availability.dir/ext_crash_availability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_crash_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

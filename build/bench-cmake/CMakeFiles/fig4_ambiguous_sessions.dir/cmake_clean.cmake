@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_ambiguous_sessions"
+  "../bench/fig4_ambiguous_sessions.pdb"
+  "CMakeFiles/fig4_ambiguous_sessions.dir/fig4_ambiguous_sessions.cpp.o"
+  "CMakeFiles/fig4_ambiguous_sessions.dir/fig4_ambiguous_sessions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_ambiguous_sessions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

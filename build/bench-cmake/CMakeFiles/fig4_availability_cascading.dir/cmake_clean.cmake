@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_availability_cascading"
+  "../bench/fig4_availability_cascading.pdb"
+  "CMakeFiles/fig4_availability_cascading.dir/fig4_availability_cascading.cpp.o"
+  "CMakeFiles/fig4_availability_cascading.dir/fig4_availability_cascading.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_availability_cascading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_availability_fresh"
+  "../bench/fig4_availability_fresh.pdb"
+  "CMakeFiles/fig4_availability_fresh.dir/fig4_availability_fresh.cpp.o"
+  "CMakeFiles/fig4_availability_fresh.dir/fig4_availability_fresh.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_availability_fresh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

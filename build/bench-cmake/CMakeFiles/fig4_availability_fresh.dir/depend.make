@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_availability_fresh.
+# This may be replaced when dependencies are built.

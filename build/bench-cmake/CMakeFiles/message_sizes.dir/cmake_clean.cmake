@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/message_sizes"
+  "../bench/message_sizes.pdb"
+  "CMakeFiles/message_sizes.dir/message_sizes.cpp.o"
+  "CMakeFiles/message_sizes.dir/message_sizes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/message_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

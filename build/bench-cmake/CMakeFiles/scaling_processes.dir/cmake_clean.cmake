@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/scaling_processes"
+  "../bench/scaling_processes.pdb"
+  "CMakeFiles/scaling_processes.dir/scaling_processes.cpp.o"
+  "CMakeFiles/scaling_processes.dir/scaling_processes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_processes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

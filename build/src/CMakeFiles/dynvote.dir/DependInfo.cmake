@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/algorithm.cpp" "src/CMakeFiles/dynvote.dir/core/algorithm.cpp.o" "gcc" "src/CMakeFiles/dynvote.dir/core/algorithm.cpp.o.d"
+  "/root/repo/src/core/dfls.cpp" "src/CMakeFiles/dynvote.dir/core/dfls.cpp.o" "gcc" "src/CMakeFiles/dynvote.dir/core/dfls.cpp.o.d"
+  "/root/repo/src/core/message.cpp" "src/CMakeFiles/dynvote.dir/core/message.cpp.o" "gcc" "src/CMakeFiles/dynvote.dir/core/message.cpp.o.d"
+  "/root/repo/src/core/mr1p.cpp" "src/CMakeFiles/dynvote.dir/core/mr1p.cpp.o" "gcc" "src/CMakeFiles/dynvote.dir/core/mr1p.cpp.o.d"
+  "/root/repo/src/core/one_pending.cpp" "src/CMakeFiles/dynvote.dir/core/one_pending.cpp.o" "gcc" "src/CMakeFiles/dynvote.dir/core/one_pending.cpp.o.d"
+  "/root/repo/src/core/payload.cpp" "src/CMakeFiles/dynvote.dir/core/payload.cpp.o" "gcc" "src/CMakeFiles/dynvote.dir/core/payload.cpp.o.d"
+  "/root/repo/src/core/process_set.cpp" "src/CMakeFiles/dynvote.dir/core/process_set.cpp.o" "gcc" "src/CMakeFiles/dynvote.dir/core/process_set.cpp.o.d"
+  "/root/repo/src/core/quorum.cpp" "src/CMakeFiles/dynvote.dir/core/quorum.cpp.o" "gcc" "src/CMakeFiles/dynvote.dir/core/quorum.cpp.o.d"
+  "/root/repo/src/core/session.cpp" "src/CMakeFiles/dynvote.dir/core/session.cpp.o" "gcc" "src/CMakeFiles/dynvote.dir/core/session.cpp.o.d"
+  "/root/repo/src/core/simple_majority.cpp" "src/CMakeFiles/dynvote.dir/core/simple_majority.cpp.o" "gcc" "src/CMakeFiles/dynvote.dir/core/simple_majority.cpp.o.d"
+  "/root/repo/src/core/ykd.cpp" "src/CMakeFiles/dynvote.dir/core/ykd.cpp.o" "gcc" "src/CMakeFiles/dynvote.dir/core/ykd.cpp.o.d"
+  "/root/repo/src/core/ykd_family.cpp" "src/CMakeFiles/dynvote.dir/core/ykd_family.cpp.o" "gcc" "src/CMakeFiles/dynvote.dir/core/ykd_family.cpp.o.d"
+  "/root/repo/src/gcs/gcs.cpp" "src/CMakeFiles/dynvote.dir/gcs/gcs.cpp.o" "gcc" "src/CMakeFiles/dynvote.dir/gcs/gcs.cpp.o.d"
+  "/root/repo/src/gcs/network.cpp" "src/CMakeFiles/dynvote.dir/gcs/network.cpp.o" "gcc" "src/CMakeFiles/dynvote.dir/gcs/network.cpp.o.d"
+  "/root/repo/src/gcs/topology.cpp" "src/CMakeFiles/dynvote.dir/gcs/topology.cpp.o" "gcc" "src/CMakeFiles/dynvote.dir/gcs/topology.cpp.o.d"
+  "/root/repo/src/sim/driver.cpp" "src/CMakeFiles/dynvote.dir/sim/driver.cpp.o" "gcc" "src/CMakeFiles/dynvote.dir/sim/driver.cpp.o.d"
+  "/root/repo/src/sim/experiment.cpp" "src/CMakeFiles/dynvote.dir/sim/experiment.cpp.o" "gcc" "src/CMakeFiles/dynvote.dir/sim/experiment.cpp.o.d"
+  "/root/repo/src/sim/fault_schedule.cpp" "src/CMakeFiles/dynvote.dir/sim/fault_schedule.cpp.o" "gcc" "src/CMakeFiles/dynvote.dir/sim/fault_schedule.cpp.o.d"
+  "/root/repo/src/sim/invariants.cpp" "src/CMakeFiles/dynvote.dir/sim/invariants.cpp.o" "gcc" "src/CMakeFiles/dynvote.dir/sim/invariants.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/CMakeFiles/dynvote.dir/sim/stats.cpp.o" "gcc" "src/CMakeFiles/dynvote.dir/sim/stats.cpp.o.d"
+  "/root/repo/src/sim/table.cpp" "src/CMakeFiles/dynvote.dir/sim/table.cpp.o" "gcc" "src/CMakeFiles/dynvote.dir/sim/table.cpp.o.d"
+  "/root/repo/src/util/codec.cpp" "src/CMakeFiles/dynvote.dir/util/codec.cpp.o" "gcc" "src/CMakeFiles/dynvote.dir/util/codec.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/CMakeFiles/dynvote.dir/util/logging.cpp.o" "gcc" "src/CMakeFiles/dynvote.dir/util/logging.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algorithm_contract_test.dir/algorithm_contract_test.cpp.o"
+  "CMakeFiles/algorithm_contract_test.dir/algorithm_contract_test.cpp.o.d"
+  "algorithm_contract_test"
+  "algorithm_contract_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algorithm_contract_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfls_test.dir/dfls_test.cpp.o"
+  "CMakeFiles/dfls_test.dir/dfls_test.cpp.o.d"
+  "dfls_test"
+  "dfls_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfls_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

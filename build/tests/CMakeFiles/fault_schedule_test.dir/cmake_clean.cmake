@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_schedule_test.dir/fault_schedule_test.cpp.o"
+  "CMakeFiles/fault_schedule_test.dir/fault_schedule_test.cpp.o.d"
+  "fault_schedule_test"
+  "fault_schedule_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_schedule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

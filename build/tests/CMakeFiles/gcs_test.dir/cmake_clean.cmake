@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcs_test.dir/gcs_test.cpp.o"
+  "CMakeFiles/gcs_test.dir/gcs_test.cpp.o.d"
+  "gcs_test"
+  "gcs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logging_table_test.dir/logging_table_test.cpp.o"
+  "CMakeFiles/logging_table_test.dir/logging_table_test.cpp.o.d"
+  "logging_table_test"
+  "logging_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logging_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mr1p_test.dir/mr1p_test.cpp.o"
+  "CMakeFiles/mr1p_test.dir/mr1p_test.cpp.o.d"
+  "mr1p_test"
+  "mr1p_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mr1p_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

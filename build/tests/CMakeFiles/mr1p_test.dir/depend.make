@@ -1,0 +1,2 @@
+# Empty dependencies file for mr1p_test.
+# This may be replaced when dependencies are built.

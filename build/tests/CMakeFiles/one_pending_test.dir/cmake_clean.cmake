@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/one_pending_test.dir/one_pending_test.cpp.o"
+  "CMakeFiles/one_pending_test.dir/one_pending_test.cpp.o.d"
+  "one_pending_test"
+  "one_pending_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/one_pending_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

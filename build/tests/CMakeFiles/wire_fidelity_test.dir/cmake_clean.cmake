@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_fidelity_test.dir/wire_fidelity_test.cpp.o"
+  "CMakeFiles/wire_fidelity_test.dir/wire_fidelity_test.cpp.o.d"
+  "wire_fidelity_test"
+  "wire_fidelity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_fidelity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

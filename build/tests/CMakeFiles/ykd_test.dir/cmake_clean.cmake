@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ykd_test.dir/ykd_test.cpp.o"
+  "CMakeFiles/ykd_test.dir/ykd_test.cpp.o.d"
+  "ykd_test"
+  "ykd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ykd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
