@@ -19,17 +19,19 @@ Gcs::AlgorithmFactory mr1p_with(Mr1pResolutionPolicy policy) {
   };
 }
 
-double availability(Mr1pResolutionPolicy policy, std::size_t changes,
-                    RunMode mode, std::uint64_t runs, std::uint64_t seed) {
-  CaseSpec spec;
-  spec.algorithm_factory = mr1p_with(policy);
-  spec.processes = 64;
-  spec.changes = changes;
-  spec.mean_rounds = 2.0;
-  spec.runs = runs;
-  spec.mode = mode;
-  spec.base_seed = seed;
-  return run_case(spec).availability_percent();
+SweepCase policy_case(Mr1pResolutionPolicy policy, const char* label,
+                      std::size_t changes, RunMode mode, std::uint64_t runs,
+                      std::uint64_t seed) {
+  SweepCase c;
+  c.algorithm = label;
+  c.spec.algorithm_factory = mr1p_with(policy);
+  c.spec.processes = 64;
+  c.spec.changes = changes;
+  c.spec.mean_rounds = 2.0;
+  c.spec.runs = runs;
+  c.spec.mode = mode;
+  c.spec.base_seed = seed;
+  return c;
 }
 
 }  // namespace
@@ -45,13 +47,27 @@ int main() {
             << "adopt        = Paxos-style completion of possibly-formed "
                "sessions\n";
 
-  TextTable table({"mode", "changes", "conservative %", "adopt %", "delta"});
+  SweepSpec sweep;
+  sweep.name = "ablation_mr1p_policy";
   for (RunMode mode : {RunMode::kFreshStart, RunMode::kCascading}) {
     for (std::size_t changes : standard_change_counts()) {
-      const double conservative = availability(
-          Mr1pResolutionPolicy::kConservative, changes, mode, runs, seed);
-      const double adopt = availability(
-          Mr1pResolutionPolicy::kAdoptOnAttempt, changes, mode, runs, seed);
+      sweep.cases.push_back(policy_case(Mr1pResolutionPolicy::kConservative,
+                                        "mr1p[conservative]", changes, mode,
+                                        runs, seed));
+      sweep.cases.push_back(policy_case(Mr1pResolutionPolicy::kAdoptOnAttempt,
+                                        "mr1p[adopt]", changes, mode, runs,
+                                        seed));
+    }
+  }
+  const SweepResult swept = run_sweep(sweep);
+
+  TextTable table({"mode", "changes", "conservative %", "adopt %", "delta"});
+  std::size_t index = 0;
+  for (RunMode mode : {RunMode::kFreshStart, RunMode::kCascading}) {
+    for (std::size_t changes : standard_change_counts()) {
+      const double conservative =
+          swept.cases[index++].result.availability_percent();
+      const double adopt = swept.cases[index++].result.availability_percent();
       table.add_row({to_string(mode), std::to_string(changes),
                      format_double(conservative), format_double(adopt),
                      format_double(adopt - conservative)});

@@ -24,19 +24,23 @@ int main() {
                    "ykd runs w/ sessions %", "unopt runs w/ sessions %",
                    "ykd max", "unopt max"});
 
+  const std::vector<double> rates = {1.0, 4.0, 8.0};
+  SweepSpec sweep;
+  sweep.name = "ablation_unoptimized_ykd";
   for (std::size_t changes : standard_change_counts()) {
-    for (double rate : {1.0, 4.0, 8.0}) {
-      CaseSpec spec;
-      spec.processes = 64;
-      spec.changes = changes;
-      spec.mean_rounds = rate;
-      spec.runs = runs;
-      spec.base_seed = seed;
+    auto grid = availability_grid(
+        {AlgorithmKind::kYkd, AlgorithmKind::kYkdUnoptimized}, rates, changes,
+        RunMode::kFreshStart, runs, seed);
+    sweep.cases.insert(sweep.cases.end(), grid.begin(), grid.end());
+  }
+  const SweepResult swept = run_sweep(sweep);
 
-      spec.algorithm = AlgorithmKind::kYkd;
-      const CaseResult ykd = run_case(spec);
-      spec.algorithm = AlgorithmKind::kYkdUnoptimized;
-      const CaseResult unopt = run_case(spec);
+  std::size_t block = 0;  // start of this change-count's 2x3 grid
+  for (std::size_t changes : standard_change_counts()) {
+    for (std::size_t r = 0; r < rates.size(); ++r) {
+      const double rate = rates[r];
+      const CaseResult& ykd = swept.cases[block + r].result;
+      const CaseResult& unopt = swept.cases[block + rates.size() + r].result;
 
       std::uint64_t mismatches = 0;
       for (std::size_t i = 0; i < ykd.success_per_run.size(); ++i) {
@@ -54,6 +58,7 @@ int main() {
                      std::to_string(ykd.stable.max_observed),
                      std::to_string(unopt.stable.max_observed)});
     }
+    block += 2 * rates.size();
   }
   table.print(std::cout);
   std::cout << "Paired mismatches across " << total_runs

@@ -1,4 +1,10 @@
 // Shared plumbing for the figure-reproduction binaries.
+//
+// Every bench describes its figure as a SweepSpec and hands it to the
+// parallel sweep runner (src/runner/), which fans cases and fresh-start
+// run shards across DV_JOBS workers, streams progress to stderr, and
+// records a JSON manifest per sweep -- the printing below consumes the
+// deterministic, bit-identical-to-serial results it returns.
 #pragma once
 
 #include <iostream>
@@ -6,7 +12,7 @@
 #include <string>
 #include <vector>
 
-#include "sim/experiment.hpp"
+#include "runner/sweep.hpp"
 #include "sim/table.hpp"
 
 namespace dynvote::bench {
@@ -21,7 +27,7 @@ inline std::vector<AlgorithmKind> plotted_algorithms() {
 }
 
 /// Runs per case: the thesis used 1000; we default to 400 to keep the full
-/// suite minutes-scale on one core (DV_RUNS overrides, e.g. DV_RUNS=1000).
+/// suite minutes-scale (DV_RUNS overrides, e.g. DV_RUNS=1000).
 inline std::uint64_t default_runs() { return runs_from_env(400); }
 
 struct AvailabilityFigure {
@@ -33,9 +39,11 @@ struct AvailabilityFigure {
   std::vector<double> rates;
 };
 
-/// Run one availability figure: the full rate sweep for every plotted
-/// algorithm at the given change count and mode.
+/// Run one availability figure through the sweep runner: the full rate
+/// sweep for every plotted algorithm at the given change count and mode.
+/// `sweep_name` is the JSON manifest stem (BENCH_<sweep_name>.json).
 inline AvailabilityFigure run_availability_figure(const std::string& name,
+                                                  const std::string& sweep_name,
                                                   std::size_t changes,
                                                   RunMode mode,
                                                   std::size_t processes = 64) {
@@ -45,22 +53,20 @@ inline AvailabilityFigure run_availability_figure(const std::string& name,
   fig.mode = mode;
   fig.rates = standard_rate_sweep();
 
-  const std::uint64_t runs = default_runs();
-  const std::uint64_t seed = seed_from_env(0x5eed);
+  SweepSpec sweep;
+  sweep.name = sweep_name;
+  sweep.cases = availability_grid(plotted_algorithms(), fig.rates, changes,
+                                  mode, default_runs(), seed_from_env(0x5eed),
+                                  processes);
+  const SweepResult swept = run_sweep(sweep);
 
+  // The grid is algorithm-major: unflatten back into per-algorithm columns.
+  std::size_t index = 0;
   for (AlgorithmKind kind : plotted_algorithms()) {
     auto& column = fig.results[kind];
     column.reserve(fig.rates.size());
-    for (double rate : fig.rates) {
-      CaseSpec spec;
-      spec.algorithm = kind;
-      spec.processes = processes;
-      spec.changes = changes;
-      spec.mean_rounds = rate;
-      spec.runs = runs;
-      spec.mode = mode;
-      spec.base_seed = seed;
-      column.push_back(run_case(spec));
+    for (std::size_t r = 0; r < fig.rates.size(); ++r) {
+      column.push_back(swept.cases[index++].result);
     }
   }
   return fig;

@@ -25,20 +25,33 @@ int main() {
             << "crash fraction = share of injected faults that are "
                "crashes/recoveries\n";
 
+  const std::vector<double> crash_fractions = {0.0, 0.1, 0.25, 0.5};
+
+  SweepSpec sweep;
+  sweep.name = "ext_crash_availability";
+  for (AlgorithmKind kind : plotted_algorithms()) {
+    for (double crash_fraction : crash_fractions) {
+      SweepCase c;
+      c.algorithm = to_string(kind);
+      c.spec.algorithm = kind;
+      c.spec.processes = 64;
+      c.spec.changes = 6;
+      c.spec.mean_rounds = 4.0;
+      c.spec.crash_fraction = crash_fraction;
+      c.spec.runs = runs;
+      c.spec.base_seed = seed;
+      sweep.cases.push_back(std::move(c));
+    }
+  }
+  const SweepResult swept = run_sweep(sweep);
+
+  std::size_t index = 0;
   for (AlgorithmKind kind : plotted_algorithms()) {
     std::cout << "\n-- " << to_string(kind) << " --\n";
     TextTable table({"crash fraction", "availability %", "in-run avail %",
                      "runs w/ pending %"});
-    for (double crash_fraction : {0.0, 0.1, 0.25, 0.5}) {
-      CaseSpec spec;
-      spec.algorithm = kind;
-      spec.processes = 64;
-      spec.changes = 6;
-      spec.mean_rounds = 4.0;
-      spec.crash_fraction = crash_fraction;
-      spec.runs = runs;
-      spec.base_seed = seed;
-      const CaseResult r = run_case(spec);
+    for (double crash_fraction : crash_fractions) {
+      const CaseResult& r = swept.cases[index++].result;
       table.add_row({format_double(crash_fraction, 2),
                      format_double(r.availability_percent()),
                      format_double(r.in_run_availability_percent()),

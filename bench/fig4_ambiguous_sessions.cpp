@@ -60,24 +60,30 @@ int main() {
   const std::uint64_t runs = default_runs();
   const std::uint64_t seed = seed_from_env(0x5eed);
 
+  // One sweep covering the whole trio x change-count x rate grid.
+  SweepSpec sweep;
+  sweep.name = "fig4_ambiguous_sessions";
+  for (AlgorithmKind kind : kTrio) {
+    for (std::size_t changes : standard_change_counts()) {
+      auto grid = availability_grid({kind}, rates, changes,
+                                    RunMode::kFreshStart, runs, seed);
+      sweep.cases.insert(sweep.cases.end(), grid.begin(), grid.end());
+    }
+  }
+  const SweepResult swept = run_sweep(sweep);
+
   // data[kind][changes] = per-rate histograms
   std::map<AlgorithmKind, std::map<std::size_t, std::vector<AmbiguityHistogram>>>
       stable, in_progress;
   std::map<AlgorithmKind, std::size_t> overall_max_stable, overall_max_sent;
 
+  std::size_t index = 0;
   for (AlgorithmKind kind : kTrio) {
     for (std::size_t changes : standard_change_counts()) {
       auto& stable_row = stable[kind][changes];
       auto& progress_row = in_progress[kind][changes];
-      for (double rate : rates) {
-        CaseSpec spec;
-        spec.algorithm = kind;
-        spec.processes = 64;
-        spec.changes = changes;
-        spec.mean_rounds = rate;
-        spec.runs = runs;
-        spec.base_seed = seed;
-        const CaseResult result = run_case(spec);
+      for (std::size_t r = 0; r < rates.size(); ++r) {
+        const CaseResult& result = swept.cases[index++].result;
         stable_row.push_back(result.stable);
         progress_row.push_back(result.in_progress);
         overall_max_stable[kind] =

@@ -30,7 +30,7 @@ int main() {
 
   for (const auto& f : figures) {
     const AvailabilityFigure fig =
-        run_availability_figure(f.name, f.changes, RunMode::kCascading);
+        run_availability_figure(f.name, f.csv, f.changes, RunMode::kCascading);
     print_availability_figure(fig, f.csv);
   }
   return 0;

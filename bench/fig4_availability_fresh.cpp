@@ -31,7 +31,7 @@ int main() {
 
   for (const auto& f : figures) {
     const AvailabilityFigure fig =
-        run_availability_figure(f.name, f.changes, RunMode::kFreshStart);
+        run_availability_figure(f.name, f.csv, f.changes, RunMode::kFreshStart);
     print_availability_figure(fig, f.csv);
     print_ykd_dfls_gap(fig);
   }

@@ -4,7 +4,8 @@
 // stay small because so few ambiguous sessions are ever retained.
 //
 // Every payload sent through the simulated GCS is serialized with the real
-// wire codec and measured.
+// wire codec and measured; the per-run measurements aggregate into the
+// case's `CaseResult::wire` through the sweep runner.
 #include <iostream>
 
 #include "bench_util.hpp"
@@ -20,30 +21,35 @@ int main() {
             << " turbulent fresh-start runs per case, 12 changes, rate 2) "
                "==\n";
 
+  const std::vector<AlgorithmKind> kinds = {
+      AlgorithmKind::kYkd, AlgorithmKind::kYkdUnoptimized,
+      AlgorithmKind::kDfls, AlgorithmKind::kOnePending, AlgorithmKind::kMr1p};
+  const std::vector<std::size_t> process_counts = {16, 32, 64};
+
+  SweepSpec sweep;
+  sweep.name = "message_sizes";
+  for (AlgorithmKind kind : kinds) {
+    for (std::size_t processes : process_counts) {
+      SweepCase c;
+      c.algorithm = to_string(kind);
+      c.spec.algorithm = kind;
+      c.spec.processes = processes;
+      c.spec.changes = 12;
+      c.spec.mean_rounds = 2.0;
+      c.spec.runs = runs;
+      c.spec.base_seed = seed;
+      c.spec.measure_wire_sizes = true;
+      sweep.cases.push_back(std::move(c));
+    }
+  }
+  const SweepResult swept = run_sweep(sweep);
+
   TextTable table({"algorithm", "processes", "messages", "max bytes",
                    "mean bytes"});
-  for (AlgorithmKind kind :
-       {AlgorithmKind::kYkd, AlgorithmKind::kYkdUnoptimized,
-        AlgorithmKind::kDfls, AlgorithmKind::kOnePending,
-        AlgorithmKind::kMr1p}) {
-    for (std::size_t processes : {16u, 32u, 64u}) {
-      WireStats totals;
-      for (std::uint64_t i = 0; i < runs; ++i) {
-        SimulationConfig config;
-        config.algorithm = kind;
-        config.processes = processes;
-        config.changes_per_run = 12;
-        config.mean_rounds_between_changes = 2.0;
-        config.seed = mix_seed(seed, processes, 12, 2, i);
-        config.measure_wire_sizes = true;
-        Simulation sim(config);
-        (void)sim.run_once();
-        const WireStats& stats = sim.gcs().wire_stats();
-        totals.messages_sent += stats.messages_sent;
-        totals.total_message_bytes += stats.total_message_bytes;
-        totals.max_message_bytes =
-            std::max(totals.max_message_bytes, stats.max_message_bytes);
-      }
+  std::size_t index = 0;
+  for (AlgorithmKind kind : kinds) {
+    for (std::size_t processes : process_counts) {
+      const WireStats& totals = swept.cases[index++].result.wire;
       table.add_row(
           {std::string(to_string(kind)), std::to_string(processes),
            std::to_string(totals.messages_sent),

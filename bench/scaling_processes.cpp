@@ -19,9 +19,31 @@ int main() {
             << "Thesis: results at 32 and 48 processes are almost identical "
                "to 64.\n";
 
-  for (AlgorithmKind kind :
-       {AlgorithmKind::kYkd, AlgorithmKind::kOnePending,
-        AlgorithmKind::kSimpleMajority}) {
+  const std::vector<AlgorithmKind> kinds = {AlgorithmKind::kYkd,
+                                            AlgorithmKind::kOnePending,
+                                            AlgorithmKind::kSimpleMajority};
+
+  SweepSpec sweep;
+  sweep.name = "scaling_processes";
+  for (AlgorithmKind kind : kinds) {
+    for (double rate : rates) {
+      for (std::size_t n : sizes) {
+        SweepCase c;
+        c.algorithm = to_string(kind);
+        c.spec.algorithm = kind;
+        c.spec.processes = n;
+        c.spec.changes = 6;
+        c.spec.mean_rounds = rate;
+        c.spec.runs = runs;
+        c.spec.base_seed = seed;
+        sweep.cases.push_back(std::move(c));
+      }
+    }
+  }
+  const SweepResult swept = run_sweep(sweep);
+
+  std::size_t index = 0;
+  for (AlgorithmKind kind : kinds) {
     std::cout << "\n-- " << to_string(kind) << " --\n";
     std::vector<std::string> headers{"rounds between changes"};
     for (std::size_t n : sizes) {
@@ -33,15 +55,9 @@ int main() {
     for (double rate : rates) {
       std::vector<std::string> row{format_double(rate, 0)};
       double lo = 100.0, hi = 0.0;
-      for (std::size_t n : sizes) {
-        CaseSpec spec;
-        spec.algorithm = kind;
-        spec.processes = n;
-        spec.changes = 6;
-        spec.mean_rounds = rate;
-        spec.runs = runs;
-        spec.base_seed = seed;
-        const double availability = run_case(spec).availability_percent();
+      for (std::size_t n = 0; n < sizes.size(); ++n) {
+        const double availability =
+            swept.cases[index++].result.availability_percent();
         lo = std::min(lo, availability);
         hi = std::max(hi, availability);
         row.push_back(format_double(availability));

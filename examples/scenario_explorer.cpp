@@ -12,7 +12,7 @@
 #include <string>
 #include <vector>
 
-#include "sim/experiment.hpp"
+#include "runner/sweep.hpp"
 #include "sim/table.hpp"
 
 using namespace dynvote;
@@ -32,7 +32,9 @@ namespace {
       << "  --mode M           fresh | cascading (default fresh)\n"
       << "  --seed N           base seed (default 0x5eed)\n"
       << "  --crash-fraction F share of faults that are process\n"
-      << "                     crashes/recoveries (default 0)\n";
+      << "                     crashes/recoveries (default 0)\n"
+      << "  --jobs N           worker threads (default: DV_JOBS, else all\n"
+      << "                     hardware threads)\n";
   std::exit(2);
 }
 
@@ -47,7 +49,9 @@ int main(int argc, char** argv) {
   CaseSpec spec;
   spec.runs = 200;
   bool run_all = false;
+  std::size_t jobs = 0;  // 0 = DV_JOBS / hardware default
 
+  try {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> std::string {
@@ -81,26 +85,45 @@ int main(int argc, char** argv) {
       spec.base_seed = std::stoull(next());
     } else if (arg == "--crash-fraction") {
       spec.crash_fraction = std::stod(next());
+    } else if (arg == "--jobs") {
+      jobs = std::stoul(next());
     } else {
       usage(argv[0]);
     }
+  }
+  } catch (const std::invalid_argument&) {
+    usage(argv[0]);  // non-numeric value for a numeric flag
+  } catch (const std::out_of_range&) {
+    usage(argv[0]);
   }
 
   std::vector<AlgorithmKind> kinds =
       run_all ? all_algorithm_kinds() : std::vector<AlgorithmKind>{spec.algorithm};
 
+  SweepSpec sweep;
+  sweep.name = "scenario_explorer";
+  sweep.jobs = jobs;
+  for (AlgorithmKind kind : kinds) {
+    SweepCase one;
+    one.algorithm = to_string(kind);
+    one.spec = spec;
+    one.spec.algorithm = kind;
+    sweep.cases.push_back(std::move(one));
+  }
+  const SweepResult swept = run_sweep(sweep);
+
   std::cout << "processes=" << spec.processes << " changes=" << spec.changes
             << " rate=" << spec.mean_rounds << " runs=" << spec.runs
-            << " mode=" << to_string(spec.mode) << "\n\n";
+            << " mode=" << to_string(spec.mode) << " jobs=" << swept.jobs
+            << "\n\n";
 
   TextTable table({"algorithm", "availability %", "in-run avail %",
                    "runs w/ pending %", "max pending", "avg rounds/run"});
-  for (AlgorithmKind kind : kinds) {
-    CaseSpec one = spec;
-    one.algorithm = kind;
-    const CaseResult result = run_case(one);
+  for (std::size_t k = 0; k < kinds.size(); ++k) {
+    const CaseResult& result = swept.cases[k].result;
     table.add_row(
-        {row_label(result, kind), format_double(result.availability_percent()),
+        {row_label(result, kinds[k]),
+         format_double(result.availability_percent()),
          format_double(result.in_run_availability_percent()),
          format_double(result.stable.percent_nonzero()),
          std::to_string(result.stable.max_observed),
@@ -109,5 +132,8 @@ int main(int argc, char** argv) {
                        1)});
   }
   table.print(std::cout);
+  if (!swept.artifact_path.empty()) {
+    std::cout << "(manifest written to " << swept.artifact_path << ")\n";
+  }
   return 0;
 }

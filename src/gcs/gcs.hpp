@@ -14,6 +14,7 @@
 // the phenomenon under study.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <memory>
 #include <vector>
@@ -46,6 +47,15 @@ struct WireStats {
   std::uint64_t protocol_messages_sent = 0;
   std::size_t max_message_bytes = 0;
   std::uint64_t total_message_bytes = 0;
+
+  /// Fold another measurement in (counters add, the maximum maxes); used
+  /// when aggregating per-run or per-shard measurements into a case.
+  void merge(const WireStats& other) {
+    messages_sent += other.messages_sent;
+    protocol_messages_sent += other.protocol_messages_sent;
+    max_message_bytes = std::max(max_message_bytes, other.max_message_bytes);
+    total_message_bytes += other.total_message_bytes;
+  }
 };
 
 class Gcs {

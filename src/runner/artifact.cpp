@@ -1,0 +1,112 @@
+#include "runner/artifact.hpp"
+
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+
+#include "runner/json.hpp"
+#include "util/env.hpp"
+#include "util/logging.hpp"
+
+#ifndef DV_GIT_DESCRIBE
+#define DV_GIT_DESCRIBE "unknown"
+#endif
+
+namespace dynvote {
+
+namespace {
+
+void histogram_json(JsonWriter& json, const AmbiguityHistogram& histogram) {
+  json.begin_object();
+  json.key("buckets").begin_array();
+  for (std::uint64_t bucket : histogram.buckets) json.value(bucket);
+  json.end_array();
+  json.key("samples").value(histogram.samples);
+  json.key("max_observed").value(static_cast<std::uint64_t>(histogram.max_observed));
+  json.end_object();
+}
+
+void case_json(JsonWriter& json, const CaseOutcome& outcome) {
+  const CaseSpec& spec = outcome.spec;
+  const CaseResult& r = outcome.result;
+  json.begin_object();
+  json.key("algorithm").value(outcome.algorithm);
+  json.key("processes").value(static_cast<std::uint64_t>(spec.processes));
+  json.key("changes").value(static_cast<std::uint64_t>(spec.changes));
+  json.key("rate").value(spec.mean_rounds);
+  json.key("crash_fraction").value(spec.crash_fraction);
+  json.key("mode").value(to_string(spec.mode));
+  json.key("base_seed").value(spec.base_seed);
+  json.key("runs").value(r.runs);
+  json.key("successes").value(r.successes);
+  json.key("availability_percent").value(r.availability_percent());
+  json.key("in_run_availability_percent").value(r.in_run_availability_percent());
+  json.key("stable_histogram");
+  histogram_json(json, r.stable);
+  json.key("in_progress_histogram");
+  histogram_json(json, r.in_progress);
+  json.key("wire").begin_object();
+  json.key("messages_sent").value(r.wire.messages_sent);
+  json.key("protocol_messages_sent").value(r.wire.protocol_messages_sent);
+  json.key("max_message_bytes").value(static_cast<std::uint64_t>(r.wire.max_message_bytes));
+  json.key("total_message_bytes").value(r.wire.total_message_bytes);
+  json.end_object();
+  json.key("invariant_checks").value(r.invariant_checks);
+  json.key("total_rounds").value(r.total_rounds);
+  json.key("total_changes").value(r.total_changes);
+  json.key("compute_seconds").value(outcome.compute_seconds);
+  json.key("runs_per_sec").value(outcome.runs_per_sec);
+  json.end_object();
+}
+
+}  // namespace
+
+std::string manifest_json(const SweepSpec& spec, const SweepResult& result) {
+  std::uint64_t total_runs = 0;
+  for (const CaseOutcome& outcome : result.cases) {
+    total_runs += outcome.result.runs;
+  }
+
+  JsonWriter json;
+  json.begin_object();
+  json.key("schema").value(kSweepManifestSchema);
+  json.key("sweep").value(spec.name);
+  json.key("created_unix").value(
+      static_cast<std::int64_t>(std::time(nullptr)));
+  json.key("git_describe").value(DV_GIT_DESCRIBE);
+  json.key("jobs").value(static_cast<std::uint64_t>(result.jobs));
+  json.key("wall_seconds").value(result.wall_seconds);
+  json.key("total_runs").value(total_runs);
+  json.key("cases").begin_array();
+  for (const CaseOutcome& outcome : result.cases) case_json(json, outcome);
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+std::string write_manifest(const SweepSpec& spec, const SweepResult& result) {
+  std::string dir = env_string("DV_ARTIFACT_DIR").value_or("artifacts");
+  if (dir == "none" || dir == "off" || dir == "0") return "";
+
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    DV_LOG_WARN("cannot create artifact dir " << dir << ": " << ec.message());
+    return "";
+  }
+
+  const std::string path = dir + "/BENCH_" + spec.name + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    DV_LOG_WARN("cannot write sweep manifest " << path);
+    return "";
+  }
+  out << manifest_json(spec, result) << '\n';
+  if (!out.good()) {
+    DV_LOG_WARN("short write on sweep manifest " << path);
+    return "";
+  }
+  return path;
+}
+
+}  // namespace dynvote

@@ -1,0 +1,52 @@
+// Versioned JSON run artifacts ("manifests") for sweeps.
+//
+// One manifest per sweep, written next to the CSV/stdout outputs the
+// benches already produce: the full configuration (cases, seeds, runs),
+// provenance (schema version, git describe, creation time, DV_JOBS), and
+// per-case measurements -- availability, in-run availability, ambiguity
+// histograms, wire stats, invariant-check counts, wall/compute time and
+// runs/sec.  This is the machine-readable perf/availability trajectory of
+// the repo: comparing two manifests of the same sweep across commits shows
+// both statistical drift and speed drift.
+//
+// Layout (schema "dynvote.sweep.v1"):
+//   {
+//     "schema": "dynvote.sweep.v1",
+//     "sweep": "<name>", "created_unix": ..., "git_describe": "...",
+//     "jobs": N, "wall_seconds": ..., "total_runs": ...,
+//     "cases": [ { "algorithm": "...", "processes": ..., "changes": ...,
+//                  "rate": ..., "crash_fraction": ..., "mode": "...",
+//                  "base_seed": ..., "runs": ..., "successes": ...,
+//                  "availability_percent": ...,
+//                  "in_run_availability_percent": ...,
+//                  "stable_histogram": {"buckets": [..], "samples": ..,
+//                                       "max_observed": ..},
+//                  "in_progress_histogram": {...},
+//                  "wire": {"messages_sent": .., "max_message_bytes": ..,
+//                           "total_message_bytes": ..},
+//                  "invariant_checks": .., "total_rounds": ..,
+//                  "total_changes": .., "compute_seconds": ..,
+//                  "runs_per_sec": .. }, ... ]
+//   }
+#pragma once
+
+#include <string>
+
+#include "runner/sweep.hpp"
+
+namespace dynvote {
+
+/// Schema identifier stamped into every manifest; bump on layout changes.
+inline constexpr const char* kSweepManifestSchema = "dynvote.sweep.v1";
+
+/// Render the manifest document for a finished sweep.
+std::string manifest_json(const SweepSpec& spec, const SweepResult& result);
+
+/// Write the manifest to `<artifact dir>/BENCH_<spec.name>.json` and
+/// return the path.  The directory comes from DV_ARTIFACT_DIR (default
+/// "artifacts", created on demand; "none"/"off"/"0" disables artifacts,
+/// returning "").  Failures warn and return "" -- a sweep's results are
+/// never discarded because a disk write failed.
+std::string write_manifest(const SweepSpec& spec, const SweepResult& result);
+
+}  // namespace dynvote

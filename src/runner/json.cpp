@@ -1,0 +1,300 @@
+#include "runner/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace dynvote {
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view text) {
+  out.push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+std::string json_quote(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  append_escaped(out, text);
+  return out;
+}
+
+void JsonWriter::separate() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  DV_REQUIRE(stack_.empty() || stack_.back() == Frame::kArray,
+             "object members need a key() first");
+  if (needs_comma_) out_.push_back(',');
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  separate();
+  out_.push_back('{');
+  stack_.push_back(Frame::kObject);
+  needs_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  DV_REQUIRE(!stack_.empty() && stack_.back() == Frame::kObject && !after_key_,
+             "end_object outside an object");
+  out_.push_back('}');
+  stack_.pop_back();
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  separate();
+  out_.push_back('[');
+  stack_.push_back(Frame::kArray);
+  needs_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  DV_REQUIRE(!stack_.empty() && stack_.back() == Frame::kArray && !after_key_,
+             "end_array outside an array");
+  out_.push_back(']');
+  stack_.pop_back();
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  DV_REQUIRE(!stack_.empty() && stack_.back() == Frame::kObject && !after_key_,
+             "key() is only valid directly inside an object");
+  if (needs_comma_) out_.push_back(',');
+  append_escaped(out_, name);
+  out_.push_back(':');
+  after_key_ = true;
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  separate();
+  append_escaped(out_, text);
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* text) {
+  return value(std::string_view(text));
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  if (!std::isfinite(number)) return null();
+  separate();
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", number);
+  out_ += buf;
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t number) {
+  separate();
+  out_ += std::to_string(number);
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  separate();
+  out_ += std::to_string(number);
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  separate();
+  out_ += flag ? "true" : "false";
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  separate();
+  out_ += "null";
+  needs_comma_ = true;
+  return *this;
+}
+
+const std::string& JsonWriter::str() const {
+  DV_REQUIRE(stack_.empty() && !after_key_,
+             "JSON document has unbalanced nesting");
+  return out_;
+}
+
+// ---------------------------------------------------------------------------
+// Validator: a recursive-descent pass over one document.
+
+namespace {
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  int depth = 0;
+  static constexpr int kMaxDepth = 256;
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool eat(char c) {
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text.substr(pos, word.size()) != word) return false;
+    pos += word.size();
+    return true;
+  }
+
+  bool string() {
+    if (!eat('"')) return false;
+    while (pos < text.size()) {
+      const char c = text[pos++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '\\') {
+        if (pos >= text.size()) return false;
+        const char esc = text[pos++];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (pos >= text.size() || !std::isxdigit(static_cast<unsigned char>(text[pos]))) {
+              return false;
+            }
+            ++pos;
+          }
+        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+                   esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+          return false;
+        }
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool digits() {
+    const std::size_t start = pos;
+    while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos]))) ++pos;
+    return pos > start;
+  }
+
+  bool number() {
+    eat('-');
+    if (eat('0')) {
+      // leading zero must not be followed by more digits
+      if (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos]))) return false;
+    } else if (!digits()) {
+      return false;
+    }
+    if (eat('.') && !digits()) return false;
+    if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+      ++pos;
+      if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) ++pos;
+      if (!digits()) return false;
+    }
+    return true;
+  }
+
+  bool value() {
+    if (++depth > kMaxDepth) return false;
+    skip_ws();
+    bool ok = false;
+    if (pos >= text.size()) {
+      ok = false;
+    } else if (text[pos] == '{') {
+      ++pos;
+      skip_ws();
+      if (eat('}')) {
+        ok = true;
+      } else {
+        for (;;) {
+          skip_ws();
+          if (!string()) { ok = false; break; }
+          skip_ws();
+          if (!eat(':')) { ok = false; break; }
+          if (!value()) { ok = false; break; }
+          skip_ws();
+          if (eat(',')) continue;
+          ok = eat('}');
+          break;
+        }
+      }
+    } else if (text[pos] == '[') {
+      ++pos;
+      skip_ws();
+      if (eat(']')) {
+        ok = true;
+      } else {
+        for (;;) {
+          if (!value()) { ok = false; break; }
+          skip_ws();
+          if (eat(',')) continue;
+          ok = eat(']');
+          break;
+        }
+      }
+    } else if (text[pos] == '"') {
+      ok = string();
+    } else if (text[pos] == 't') {
+      ok = literal("true");
+    } else if (text[pos] == 'f') {
+      ok = literal("false");
+    } else if (text[pos] == 'n') {
+      ok = literal("null");
+    } else {
+      ok = number();
+    }
+    --depth;
+    return ok;
+  }
+};
+
+}  // namespace
+
+bool json_is_valid(std::string_view document) {
+  Parser parser{document};
+  if (!parser.value()) return false;
+  parser.skip_ws();
+  return parser.pos == document.size();
+}
+
+}  // namespace dynvote

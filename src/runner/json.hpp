@@ -1,0 +1,56 @@
+// Dependency-free JSON emission (and a small validator) for the sweep
+// runner's artifacts.
+//
+// The writer is a streaming, comma-managing serializer: callers nest
+// begin_object/begin_array and key/value calls and get syntactically valid
+// RFC-8259 output (the test suite and the CI smoke sweep both re-parse
+// what it emits).  Doubles print round-trippably via %.17g with NaN and
+// infinities -- which JSON cannot represent -- emitted as null.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dynvote {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object member name; must be followed by a value or container.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text);
+  JsonWriter& value(double number);
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(bool flag);
+  JsonWriter& null();
+
+  /// The document so far.  Call once nesting is balanced.
+  const std::string& str() const;
+
+ private:
+  void separate();
+
+  enum class Frame { kObject, kArray };
+  std::string out_;
+  std::vector<Frame> stack_;
+  bool needs_comma_ = false;
+  bool after_key_ = false;
+};
+
+/// Escape `text` as a JSON string literal, including the quotes.
+std::string json_quote(std::string_view text);
+
+/// Strict structural validation of one JSON document (used by tests to
+/// check emitted manifests without an external parser).
+bool json_is_valid(std::string_view document);
+
+}  // namespace dynvote

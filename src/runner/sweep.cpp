@@ -1,0 +1,203 @@
+#include "runner/sweep.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "runner/artifact.hpp"
+#include "runner/thread_pool.hpp"
+#include "sim/table.hpp"
+#include "util/assert.hpp"
+#include "util/env.hpp"
+
+namespace dynvote {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// A unit of worker execution: one whole cascading case, or one contiguous
+/// run range of a fresh-start case.
+struct Shard {
+  std::size_t case_index;
+  std::size_t shard_index;
+  std::uint64_t first_run;
+  std::uint64_t run_count;
+};
+
+/// Shard sizing: enough shards to keep every worker busy with a few
+/// helpings per case, but never below the configured floor -- boundaries
+/// are a pure performance knob, results are identical for any split.
+std::uint64_t shard_size_for(std::uint64_t runs, std::size_t jobs,
+                             std::uint64_t min_shard_runs) {
+  const std::uint64_t floor = std::max<std::uint64_t>(1, min_shard_runs);
+  const std::uint64_t target = runs / (static_cast<std::uint64_t>(jobs) * 4);
+  return std::max(floor, target);
+}
+
+}  // namespace
+
+std::size_t jobs_from_env() {
+  const unsigned hardware = std::thread::hardware_concurrency();
+  const std::uint64_t jobs =
+      env_u64("DV_JOBS", hardware == 0 ? 1 : hardware);
+  return jobs == 0 ? 1 : static_cast<std::size_t>(jobs);
+}
+
+std::string case_label(const SweepCase& sweep_case) {
+  const CaseSpec& spec = sweep_case.spec;
+  std::ostringstream os;
+  os << (sweep_case.algorithm.empty() ? to_string(spec.algorithm)
+                                      : sweep_case.algorithm)
+     << " p=" << spec.processes << " c=" << spec.changes
+     << " r=" << format_double(spec.mean_rounds, 0);
+  if (spec.crash_fraction > 0.0) {
+    os << " crash=" << format_double(spec.crash_fraction, 2);
+  }
+  os << ' ' << to_string(spec.mode);
+  return os.str();
+}
+
+std::vector<SweepCase> availability_grid(
+    const std::vector<AlgorithmKind>& algorithms,
+    const std::vector<double>& rates, std::size_t changes, RunMode mode,
+    std::uint64_t runs, std::uint64_t base_seed, std::size_t processes) {
+  std::vector<SweepCase> cases;
+  cases.reserve(algorithms.size() * rates.size());
+  for (AlgorithmKind kind : algorithms) {
+    for (double rate : rates) {
+      SweepCase c;
+      c.algorithm = to_string(kind);
+      c.spec.algorithm = kind;
+      c.spec.processes = processes;
+      c.spec.changes = changes;
+      c.spec.mean_rounds = rate;
+      c.spec.runs = runs;
+      c.spec.mode = mode;
+      c.spec.base_seed = base_seed;
+      cases.push_back(std::move(c));
+    }
+  }
+  return cases;
+}
+
+SweepResult run_sweep(const SweepSpec& spec) {
+  const auto sweep_start = Clock::now();
+  const std::size_t jobs = spec.jobs != 0 ? spec.jobs : jobs_from_env();
+  ProgressSink& progress =
+      spec.progress != nullptr ? *spec.progress : default_progress_sink();
+
+  const std::size_t case_count = spec.cases.size();
+  SweepResult result;
+  result.jobs = jobs;
+  result.cases.resize(case_count);
+
+  // Plan: carve every case into shards.  Cascading cases are one shard
+  // (their runs share a single simulated world); fresh-start cases split
+  // into contiguous run ranges.
+  std::vector<Shard> shards;
+  std::vector<std::size_t> shards_per_case(case_count, 0);
+  for (std::size_t i = 0; i < case_count; ++i) {
+    const CaseSpec& cs = spec.cases[i].spec;
+    if (cs.mode == RunMode::kFreshStart && jobs > 1) {
+      const std::uint64_t size =
+          shard_size_for(cs.runs, jobs, spec.min_shard_runs);
+      std::uint64_t first = 0;
+      do {
+        const std::uint64_t count = std::min(size, cs.runs - first);
+        shards.push_back(Shard{i, shards_per_case[i], first, count});
+        ++shards_per_case[i];
+        first += count;
+      } while (first < cs.runs);
+    } else {
+      shards.push_back(Shard{i, 0, 0, cs.runs});
+      shards_per_case[i] = 1;
+    }
+  }
+
+  // Execution state, indexed by (case, shard) -- workers write only their
+  // own slots, so output never depends on scheduling order.
+  std::vector<std::vector<CaseResult>> partials(case_count);
+  std::vector<std::vector<double>> shard_seconds(case_count);
+  std::vector<std::atomic<std::size_t>> remaining(case_count);
+  for (std::size_t i = 0; i < case_count; ++i) {
+    partials[i].resize(shards_per_case[i]);
+    shard_seconds[i].resize(shards_per_case[i], 0.0);
+    remaining[i].store(shards_per_case[i], std::memory_order_relaxed);
+  }
+
+  std::mutex progress_mutex;
+  std::atomic<std::size_t> cases_done{0};
+
+  const auto finish_case = [&](std::size_t case_index) {
+    // Merge shards in run order; for single-shard cases this is a move.
+    CaseOutcome& outcome = result.cases[case_index];
+    outcome.algorithm = spec.cases[case_index].algorithm.empty()
+                            ? to_string(spec.cases[case_index].spec.algorithm)
+                            : spec.cases[case_index].algorithm;
+    outcome.spec = spec.cases[case_index].spec;
+    outcome.result = std::move(partials[case_index][0]);
+    for (std::size_t s = 1; s < partials[case_index].size(); ++s) {
+      outcome.result.merge(partials[case_index][s]);
+    }
+    for (double seconds : shard_seconds[case_index]) {
+      outcome.compute_seconds += seconds;
+    }
+    outcome.runs_per_sec =
+        outcome.compute_seconds > 0.0
+            ? static_cast<double>(outcome.result.runs) / outcome.compute_seconds
+            : 0.0;
+
+    CaseTelemetry telemetry;
+    telemetry.label = case_label(spec.cases[case_index]);
+    telemetry.runs = outcome.result.runs;
+    telemetry.compute_seconds = outcome.compute_seconds;
+    telemetry.runs_per_sec = outcome.runs_per_sec;
+    telemetry.invariant_checks = outcome.result.invariant_checks;
+    telemetry.availability_percent = outcome.result.availability_percent();
+
+    std::lock_guard<std::mutex> lock(progress_mutex);
+    const std::size_t done = cases_done.fetch_add(1) + 1;
+    progress.case_done(telemetry, done, case_count);
+  };
+
+  const auto execute_shard = [&](const Shard& shard) {
+    const CaseSpec& cs = spec.cases[shard.case_index].spec;
+    const auto start = Clock::now();
+    CaseResult partial = cs.mode == RunMode::kFreshStart
+                             ? run_case_shard(cs, shard.first_run, shard.run_count)
+                             : run_case(cs);
+    shard_seconds[shard.case_index][shard.shard_index] = seconds_since(start);
+    partials[shard.case_index][shard.shard_index] = std::move(partial);
+    if (remaining[shard.case_index].fetch_sub(1) == 1) {
+      finish_case(shard.case_index);
+    }
+  };
+
+  if (jobs <= 1) {
+    for (const Shard& shard : shards) execute_shard(shard);
+  } else {
+    ThreadPool pool(std::min<std::size_t>(jobs, shards.size()));
+    for (const Shard& shard : shards) {
+      pool.submit([&execute_shard, shard] { execute_shard(shard); });
+    }
+    pool.wait_idle();
+  }
+
+  result.wall_seconds = seconds_since(sweep_start);
+  progress.sweep_done(spec.name.empty() ? "(unnamed sweep)" : spec.name,
+                      case_count, result.wall_seconds);
+
+  if (!spec.name.empty()) {
+    result.artifact_path = write_manifest(spec, result);
+  }
+  return result;
+}
+
+}  // namespace dynvote

@@ -1,0 +1,93 @@
+// The parallel sweep engine.
+//
+// Every figure in the thesis is a sweep: a cross-product of algorithms x
+// change counts x rates x mode, each cell simulated for hundreds of runs.
+// The seeding discipline (a run's schedule is a pure function of the case
+// coordinates and the run index, never of the algorithm) makes fresh-start
+// cells embarrassingly parallel, so the runner fans cases -- and, within a
+// fresh-start case, contiguous shards of runs -- across a thread pool and
+// merges shard results in run order.  The merged output is bit-identical
+// to the serial `run_case` path: same success vector, same histograms,
+// same counters (the test suite asserts this for every algorithm and both
+// modes).  Cascading cases thread one simulation through all their runs
+// and therefore stay sequential *within* the case, but still parallelize
+// across cases.
+//
+// DV_JOBS controls the worker count (default: hardware concurrency); every
+// sweep with a name also writes a versioned JSON manifest, see artifact.hpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runner/progress.hpp"
+#include "sim/experiment.hpp"
+
+namespace dynvote {
+
+/// One cell of a sweep: a case plus the label it is reported under.
+struct SweepCase {
+  /// Output/manifest label for the algorithm, e.g. "ykd" or
+  /// "mr1p[adopt]".  Required when `spec.algorithm_factory` is set;
+  /// defaulted from `spec.algorithm` otherwise.
+  std::string algorithm;
+  CaseSpec spec;
+};
+
+struct SweepSpec {
+  /// Artifact stem (manifest becomes $DV_ARTIFACT_DIR/BENCH_<name>.json).
+  /// Empty = no artifact.
+  std::string name;
+  std::vector<SweepCase> cases;
+  /// Worker threads; 0 means DV_JOBS, falling back to hardware concurrency.
+  std::size_t jobs = 0;
+  /// Smallest shard a fresh-start case is split into.  Shard boundaries
+  /// never affect results (merge is exact); this only bounds scheduling
+  /// overhead for tiny cases.
+  std::uint64_t min_shard_runs = 32;
+  /// Progress feed; nullptr = default_progress_sink() (stderr, silenced
+  /// by DV_PROGRESS=0).
+  ProgressSink* progress = nullptr;
+};
+
+/// One finished cell, in the same order as SweepSpec::cases.
+struct CaseOutcome {
+  std::string algorithm;
+  CaseSpec spec;
+  CaseResult result;
+  /// Summed worker time over this case's shards (its cost, regardless of
+  /// how many workers shared it).
+  double compute_seconds = 0.0;
+  double runs_per_sec = 0.0;
+};
+
+struct SweepResult {
+  std::vector<CaseOutcome> cases;
+  double wall_seconds = 0.0;
+  std::size_t jobs = 1;
+  /// Manifest path actually written; empty when artifacts were disabled.
+  std::string artifact_path;
+};
+
+/// Execute the sweep across the worker pool and (when `spec.name` is set)
+/// record its manifest.  Results are deterministic: independent of DV_JOBS,
+/// shard sizing, and worker scheduling.
+SweepResult run_sweep(const SweepSpec& spec);
+
+/// DV_JOBS, else hardware concurrency, never zero.
+std::size_t jobs_from_env();
+
+/// Build the standard availability grid -- every algorithm crossed with
+/// every rate at one change count and mode, in algorithm-major order (the
+/// layout all the figure benches share).
+std::vector<SweepCase> availability_grid(
+    const std::vector<AlgorithmKind>& algorithms,
+    const std::vector<double>& rates, std::size_t changes, RunMode mode,
+    std::uint64_t runs, std::uint64_t base_seed, std::size_t processes = 64);
+
+/// Human-readable case coordinates for progress lines and error messages,
+/// e.g. "ykd p=64 c=6 r=4 cascading".
+std::string case_label(const SweepCase& sweep_case);
+
+}  // namespace dynvote

@@ -1,0 +1,56 @@
+// Fixed-size worker pool for the sweep runner.
+//
+// Deliberately minimal: tasks go into one FIFO queue, `wait_idle` blocks
+// until every submitted task has finished, and the first exception a task
+// throws is captured and rethrown from `wait_idle` on the submitting
+// thread (a DV_REQUIRE tripping inside a worker must fail the sweep, not
+// terminate the process).  Determinism never depends on this class: the
+// scheduler assigns results to pre-allocated slots, so any interleaving of
+// workers produces the same output.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dynvote {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least one).
+  explicit ThreadPool(std::size_t threads);
+
+  /// Joins all workers; pending tasks are still drained first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueue one task.  Must not be called after shutdown began.
+  void submit(std::function<void()> task);
+
+  /// Block until the queue is empty and no task is running, then rethrow
+  /// the first exception any task raised since the last wait.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;
+  std::exception_ptr first_error_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dynvote

@@ -1,10 +1,11 @@
 #include "sim/experiment.hpp"
 
 #include <bit>
-#include <cstdlib>
 #include <string>
 
 #include "sim/driver.hpp"
+#include "util/assert.hpp"
+#include "util/env.hpp"
 #include "util/rng.hpp"
 
 namespace dynvote {
@@ -29,13 +30,26 @@ SimulationConfig config_for(const CaseSpec& spec, std::uint64_t seed) {
   return config;
 }
 
-std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
-  const char* raw = std::getenv(name);
-  if (raw == nullptr || *raw == '\0') return fallback;
-  char* end = nullptr;
-  const unsigned long long value = std::strtoull(raw, &end, 10);
-  if (end == raw || *end != '\0') return fallback;
-  return static_cast<std::uint64_t>(value);
+/// Fold the simulation's cumulative wire/invariant counters into the result
+/// as the delta since the previous fold.  Both modes call this once per run
+/// (fresh-start with a brand-new simulation, cascading with the one
+/// long-lived simulation), so per-case aggregation -- including
+/// `wire.max_message_bytes` -- is byte-for-byte the same shape in both.
+void fold_run_counters(CaseResult& result, const Simulation& sim,
+                       WireStats& prev_wire, std::uint64_t& prev_checks) {
+  const WireStats& now = sim.gcs().wire_stats();
+  WireStats delta;
+  delta.messages_sent = now.messages_sent - prev_wire.messages_sent;
+  delta.protocol_messages_sent =
+      now.protocol_messages_sent - prev_wire.protocol_messages_sent;
+  delta.total_message_bytes =
+      now.total_message_bytes - prev_wire.total_message_bytes;
+  delta.max_message_bytes = now.max_message_bytes;
+  result.wire.merge(delta);
+  prev_wire = now;
+
+  result.invariant_checks += sim.invariant_checks() - prev_checks;
+  prev_checks = sim.invariant_checks();
 }
 
 }  // namespace
@@ -44,30 +58,41 @@ const char* to_string(RunMode mode) {
   return mode == RunMode::kFreshStart ? "fresh-start" : "cascading";
 }
 
-CaseResult run_case(const CaseSpec& spec) {
+CaseResult run_case_shard(const CaseSpec& spec, std::uint64_t first_run,
+                          std::uint64_t count) {
+  DV_REQUIRE(spec.mode == RunMode::kFreshStart,
+             "only fresh-start cases shard; cascading runs share one world");
   CaseResult result;
-  result.success_per_run.reserve(spec.runs);
-
-  if (spec.mode == RunMode::kFreshStart) {
-    for (std::uint64_t i = 0; i < spec.runs; ++i) {
-      const std::uint64_t seed =
-          mix_seed(spec.base_seed, spec.processes, spec.changes,
-                   rate_key(spec.mean_rounds), i);
-      Simulation sim(config_for(spec, seed));
-      result.record(sim.run_once());
-      result.max_message_bytes =
-          std::max(result.max_message_bytes,
-                   sim.gcs().wire_stats().max_message_bytes);
-    }
-  } else {
+  result.success_per_run.reserve(count);
+  for (std::uint64_t i = first_run; i < first_run + count; ++i) {
     const std::uint64_t seed =
         mix_seed(spec.base_seed, spec.processes, spec.changes,
-                 rate_key(spec.mean_rounds), 0xCA5CADEull);
+                 rate_key(spec.mean_rounds), i);
     Simulation sim(config_for(spec, seed));
-    for (std::uint64_t i = 0; i < spec.runs; ++i) {
-      result.record(sim.run_once());
-    }
-    result.max_message_bytes = sim.gcs().wire_stats().max_message_bytes;
+    result.record(sim.run_once());
+    WireStats prev_wire;
+    std::uint64_t prev_checks = 0;
+    fold_run_counters(result, sim, prev_wire, prev_checks);
+  }
+  return result;
+}
+
+CaseResult run_case(const CaseSpec& spec) {
+  if (spec.mode == RunMode::kFreshStart) {
+    return run_case_shard(spec, 0, spec.runs);
+  }
+
+  CaseResult result;
+  result.success_per_run.reserve(spec.runs);
+  const std::uint64_t seed =
+      mix_seed(spec.base_seed, spec.processes, spec.changes,
+               rate_key(spec.mean_rounds), 0xCA5CADEull);
+  Simulation sim(config_for(spec, seed));
+  WireStats prev_wire;
+  std::uint64_t prev_checks = 0;
+  for (std::uint64_t i = 0; i < spec.runs; ++i) {
+    result.record(sim.run_once());
+    fold_run_counters(result, sim, prev_wire, prev_checks);
   }
   return result;
 }

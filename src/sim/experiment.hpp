@@ -43,6 +43,15 @@ struct CaseSpec {
 /// Simulate one case and aggregate the results.
 CaseResult run_case(const CaseSpec& spec);
 
+/// Simulate the contiguous run-index range [first_run, first_run + count)
+/// of a *fresh-start* case.  Seeding is a pure function of the case
+/// coordinates and the absolute run index, so shards are independent and
+/// `CaseResult::merge`-ing them in index order is bit-identical to the
+/// serial `run_case` -- this is the unit the parallel sweep runner fans
+/// out.  `spec.runs` is ignored in favor of the explicit range.
+CaseResult run_case_shard(const CaseSpec& spec, std::uint64_t first_run,
+                          std::uint64_t count);
+
 /// The x-axis of the availability figures: mean message rounds between
 /// connectivity changes, 0 through 12.
 std::vector<double> standard_rate_sweep();

@@ -50,6 +50,20 @@ void CaseResult::record(const RunResult& run) {
   total_rounds_with_primary += run.rounds_with_primary;
 }
 
+void CaseResult::merge(const CaseResult& shard) {
+  runs += shard.runs;
+  successes += shard.successes;
+  success_per_run.insert(success_per_run.end(), shard.success_per_run.begin(),
+                         shard.success_per_run.end());
+  stable.merge(shard.stable);
+  in_progress.merge(shard.in_progress);
+  total_rounds += shard.total_rounds;
+  total_changes += shard.total_changes;
+  total_rounds_with_primary += shard.total_rounds_with_primary;
+  wire.merge(shard.wire);
+  invariant_checks += shard.invariant_checks;
+}
+
 double CaseResult::in_run_availability_percent() const {
   if (total_rounds == 0) return 0.0;
   return 100.0 * static_cast<double>(total_rounds_with_primary) /

@@ -45,8 +45,12 @@ struct CaseResult {
   std::uint64_t total_rounds = 0;
   std::uint64_t total_changes = 0;
   std::uint64_t total_rounds_with_primary = 0;
-  /// Largest protocol message seen, when wire measurement was enabled.
-  std::size_t max_message_bytes = 0;
+  /// Wire-level totals across all runs (populated when the case was run
+  /// with `measure_wire_sizes`); aggregated per run in both modes.
+  WireStats wire;
+  /// Safety-checker executions across all runs (observability: confirms
+  /// the invariant checker actually ran, and how hard).
+  std::uint64_t invariant_checks = 0;
 
   double availability_percent() const;
 
@@ -55,6 +59,13 @@ struct CaseResult {
   double in_run_availability_percent() const;
 
   void record(const RunResult& run);
+
+  /// Append `shard`, the aggregate of the runs immediately following this
+  /// result's runs within the same case.  Because every per-case statistic
+  /// is an order-respecting concatenation, a sum, or a max, merging
+  /// contiguous shards in run order is bit-identical to recording every
+  /// run serially -- the property the parallel sweep runner relies on.
+  void merge(const CaseResult& shard);
 };
 
 /// Percent of runs where `a` succeeded and `b` failed, over paired runs.

@@ -1,11 +1,11 @@
 #include "sim/table.hpp"
 
-#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
 
 #include "util/assert.hpp"
+#include "util/env.hpp"
 
 namespace dynvote {
 
@@ -65,9 +65,9 @@ std::string format_double(double value, int precision) {
 }
 
 bool maybe_write_csv(const std::string& name, const std::string& csv) {
-  const char* dir = std::getenv("DV_CSV_DIR");
-  if (dir == nullptr || *dir == '\0') return false;
-  const std::string path = std::string(dir) + "/" + name + ".csv";
+  const auto dir = env_string("DV_CSV_DIR");
+  if (!dir.has_value()) return false;
+  const std::string path = *dir + "/" + name + ".csv";
   std::ofstream out(path);
   if (!out) return false;
   out << csv;

@@ -1,0 +1,66 @@
+#include "util/env.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/logging.hpp"
+
+namespace dynvote {
+
+namespace {
+
+void warn_malformed(const char* name, const std::string& raw,
+                    const std::string& fallback_text) {
+  DV_LOG_WARN("ignoring malformed " << name << "=\"" << raw
+                                    << "\"; using " << fallback_text);
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+}  // namespace
+
+std::optional<std::string> env_string(const char* name) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return std::nullopt;
+  return std::string(raw);
+}
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const auto raw = env_string(name);
+  if (!raw.has_value()) return fallback;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(raw->c_str(), &end, 10);
+  if (end == raw->c_str() || *end != '\0' || raw->front() == '-') {
+    warn_malformed(name, *raw, std::to_string(fallback));
+    return fallback;
+  }
+  return static_cast<std::uint64_t>(value);
+}
+
+double env_double(const char* name, double fallback) {
+  const auto raw = env_string(name);
+  if (!raw.has_value()) return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(raw->c_str(), &end);
+  if (end == raw->c_str() || *end != '\0') {
+    warn_malformed(name, *raw, std::to_string(fallback));
+    return fallback;
+  }
+  return value;
+}
+
+bool env_flag(const char* name, bool fallback) {
+  const auto raw = env_string(name);
+  if (!raw.has_value()) return fallback;
+  const std::string v = lower(*raw);
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  warn_malformed(name, *raw, fallback ? "true" : "false");
+  return fallback;
+}
+
+}  // namespace dynvote

@@ -1,0 +1,30 @@
+// Environment-variable configuration shared by the library, the sweep
+// runner, the benches and the examples.
+//
+// Every DV_* knob funnels through these helpers so that parsing is uniform
+// and a malformed value produces a warning (naming the variable and the
+// fallback used) instead of being silently ignored -- a mistyped
+// DV_RUNS=4OO must not quietly shrink a 1000-run figure to its default.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace dynvote {
+
+/// Raw lookup: the variable's value, or nullopt when unset/empty.
+std::optional<std::string> env_string(const char* name);
+
+/// Unsigned integer knob (DV_RUNS, DV_SEED, DV_JOBS...).  Malformed values
+/// warn and return `fallback`.
+std::uint64_t env_u64(const char* name, std::uint64_t fallback);
+
+/// Floating-point knob.  Malformed values warn and return `fallback`.
+double env_double(const char* name, double fallback);
+
+/// Boolean knob: "1"/"true"/"yes"/"on" -> true, "0"/"false"/"no"/"off" ->
+/// false (case-insensitive).  Malformed values warn and return `fallback`.
+bool env_flag(const char* name, bool fallback);
+
+}  // namespace dynvote

@@ -1,0 +1,143 @@
+// JSON emission and the sweep manifest: writer correctness, validator
+// strictness, and the end-to-end artifact a named sweep records.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "runner/artifact.hpp"
+#include "runner/json.hpp"
+#include "runner/sweep.hpp"
+
+namespace dynvote {
+namespace {
+
+TEST(Json, WriterBuildsValidNestedDocuments) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("name").value("sweep");
+  json.key("count").value(std::uint64_t{42});
+  json.key("ratio").value(0.25);
+  json.key("flag").value(true);
+  json.key("missing").null();
+  json.key("cases").begin_array();
+  json.begin_object().key("x").value(std::int64_t{-7}).end_object();
+  json.value("plain");
+  json.end_array();
+  json.end_object();
+
+  const std::string& doc = json.str();
+  EXPECT_TRUE(json_is_valid(doc)) << doc;
+  EXPECT_NE(doc.find("\"count\":42"), std::string::npos);
+  EXPECT_NE(doc.find("\"ratio\":0.25"), std::string::npos);
+  EXPECT_NE(doc.find("\"missing\":null"), std::string::npos);
+}
+
+TEST(Json, EscapesStringsAndRejectsNonFinite) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("text").value("quote\" backslash\\ newline\n tab\t");
+  json.key("inf").value(1.0 / 0.0);
+  json.end_object();
+  const std::string& doc = json.str();
+  EXPECT_TRUE(json_is_valid(doc)) << doc;
+  EXPECT_NE(doc.find("\\\""), std::string::npos);
+  EXPECT_NE(doc.find("\\\\"), std::string::npos);
+  EXPECT_NE(doc.find("\\n"), std::string::npos);
+  EXPECT_NE(doc.find("\"inf\":null"), std::string::npos);
+}
+
+TEST(Json, RoundTripsDoublesExactly) {
+  JsonWriter json;
+  json.begin_array();
+  json.value(0.1).value(1e300).value(-2.5e-8);
+  json.end_array();
+  EXPECT_TRUE(json_is_valid(json.str()));
+  EXPECT_NE(json.str().find("0.1"), std::string::npos);
+}
+
+TEST(Json, ValidatorAcceptsRfc8259Documents) {
+  EXPECT_TRUE(json_is_valid("{}"));
+  EXPECT_TRUE(json_is_valid("[]"));
+  EXPECT_TRUE(json_is_valid("[1, 2.5, -3e2, \"x\", true, false, null]"));
+  EXPECT_TRUE(json_is_valid("{\"a\": {\"b\": [{}]}}"));
+  EXPECT_TRUE(json_is_valid("  {\"k\"\n:\t1}  "));
+}
+
+TEST(Json, ValidatorRejectsMalformedDocuments) {
+  EXPECT_FALSE(json_is_valid(""));
+  EXPECT_FALSE(json_is_valid("{"));
+  EXPECT_FALSE(json_is_valid("{]"));
+  EXPECT_FALSE(json_is_valid("{\"a\":}"));
+  EXPECT_FALSE(json_is_valid("{\"a\":1,}"));
+  EXPECT_FALSE(json_is_valid("[1 2]"));
+  EXPECT_FALSE(json_is_valid("01"));
+  EXPECT_FALSE(json_is_valid("1."));
+  EXPECT_FALSE(json_is_valid("\"unterminated"));
+  EXPECT_FALSE(json_is_valid("nulll"));
+  EXPECT_FALSE(json_is_valid("{\"a\":1} extra"));
+}
+
+SweepSpec tiny_sweep(const std::string& name) {
+  SweepSpec sweep;
+  sweep.name = name;
+  sweep.jobs = 2;
+  static NullProgress quiet;
+  sweep.progress = &quiet;
+  sweep.cases = availability_grid(
+      {AlgorithmKind::kYkd, AlgorithmKind::kSimpleMajority}, {2.0}, 4,
+      RunMode::kFreshStart, 12, 777, 16);
+  return sweep;
+}
+
+TEST(Artifact, NamedSweepWritesParseableVersionedManifest) {
+  const std::string dir = ::testing::TempDir() + "dynvote_artifact_test";
+  ::setenv("DV_ARTIFACT_DIR", dir.c_str(), 1);
+
+  const SweepResult swept = run_sweep(tiny_sweep("artifact_test"));
+  ::unsetenv("DV_ARTIFACT_DIR");
+
+  ASSERT_EQ(swept.artifact_path, dir + "/BENCH_artifact_test.json");
+  std::ifstream in(swept.artifact_path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string doc = buffer.str();
+
+  EXPECT_TRUE(json_is_valid(doc)) << doc;
+  EXPECT_NE(doc.find(kSweepManifestSchema), std::string::npos);
+  EXPECT_NE(doc.find("\"sweep\":\"artifact_test\""), std::string::npos);
+  EXPECT_NE(doc.find("\"git_describe\""), std::string::npos);
+  EXPECT_NE(doc.find("\"availability_percent\""), std::string::npos);
+  EXPECT_NE(doc.find("\"stable_histogram\""), std::string::npos);
+  EXPECT_NE(doc.find("\"invariant_checks\""), std::string::npos);
+  EXPECT_NE(doc.find("\"runs_per_sec\""), std::string::npos);
+  EXPECT_NE(doc.find("\"total_runs\":24"), std::string::npos);
+}
+
+TEST(Artifact, ManifestJsonCoversEveryCase) {
+  ::setenv("DV_ARTIFACT_DIR", "none", 1);
+  const SweepSpec spec = tiny_sweep("unwritten");
+  const SweepResult swept = run_sweep(spec);
+  ::unsetenv("DV_ARTIFACT_DIR");
+  EXPECT_TRUE(swept.artifact_path.empty());
+
+  const std::string doc = manifest_json(spec, swept);
+  EXPECT_TRUE(json_is_valid(doc)) << doc;
+  EXPECT_NE(doc.find("\"algorithm\":\"ykd\""), std::string::npos);
+  EXPECT_NE(doc.find("\"algorithm\":\"simple-majority\""), std::string::npos);
+  EXPECT_NE(doc.find("\"mode\":\"fresh-start\""), std::string::npos);
+}
+
+TEST(Artifact, DisabledDirectorySkipsWriting) {
+  for (const char* off : {"none", "off", "0"}) {
+    ::setenv("DV_ARTIFACT_DIR", off, 1);
+    const SweepResult swept = run_sweep(tiny_sweep("disabled"));
+    EXPECT_TRUE(swept.artifact_path.empty()) << off;
+  }
+  ::unsetenv("DV_ARTIFACT_DIR");
+}
+
+}  // namespace
+}  // namespace dynvote

@@ -1,0 +1,66 @@
+// Shared DV_* environment parsing: well-formed values apply, malformed
+// values fall back (with a warning) instead of being silently ignored.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "util/env.hpp"
+
+namespace dynvote {
+namespace {
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void TearDown() override { ::unsetenv(kName); }
+  static constexpr const char* kName = "DV_ENV_TEST_VALUE";
+};
+
+TEST_F(EnvTest, StringUnsetAndEmptyAreNullopt) {
+  ::unsetenv(kName);
+  EXPECT_FALSE(env_string(kName).has_value());
+  ::setenv(kName, "", 1);
+  EXPECT_FALSE(env_string(kName).has_value());
+  ::setenv(kName, "dir/path", 1);
+  EXPECT_EQ(env_string(kName).value(), "dir/path");
+}
+
+TEST_F(EnvTest, U64ParsesAndFallsBack) {
+  ::setenv(kName, "1234", 1);
+  EXPECT_EQ(env_u64(kName, 7), 1234u);
+  ::setenv(kName, "12x4", 1);
+  EXPECT_EQ(env_u64(kName, 7), 7u);  // trailing garbage
+  ::setenv(kName, "-3", 1);
+  EXPECT_EQ(env_u64(kName, 7), 7u);  // negative is not unsigned
+  ::setenv(kName, "number", 1);
+  EXPECT_EQ(env_u64(kName, 7), 7u);
+  ::unsetenv(kName);
+  EXPECT_EQ(env_u64(kName, 7), 7u);
+}
+
+TEST_F(EnvTest, DoubleParsesAndFallsBack) {
+  ::setenv(kName, "2.5", 1);
+  EXPECT_EQ(env_double(kName, 1.0), 2.5);
+  ::setenv(kName, "-0.25", 1);
+  EXPECT_EQ(env_double(kName, 1.0), -0.25);
+  ::setenv(kName, "2.5qq", 1);
+  EXPECT_EQ(env_double(kName, 1.0), 1.0);
+  ::unsetenv(kName);
+  EXPECT_EQ(env_double(kName, 1.0), 1.0);
+}
+
+TEST_F(EnvTest, FlagAcceptsCommonSpellings) {
+  for (const char* yes : {"1", "true", "TRUE", "yes", "on"}) {
+    ::setenv(kName, yes, 1);
+    EXPECT_TRUE(env_flag(kName, false)) << yes;
+  }
+  for (const char* no : {"0", "false", "False", "no", "OFF"}) {
+    ::setenv(kName, no, 1);
+    EXPECT_FALSE(env_flag(kName, true)) << no;
+  }
+  ::setenv(kName, "maybe", 1);
+  EXPECT_TRUE(env_flag(kName, true));
+  EXPECT_FALSE(env_flag(kName, false));
+}
+
+}  // namespace
+}  // namespace dynvote

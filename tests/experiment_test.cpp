@@ -2,9 +2,12 @@
 // algorithms, never influenced by them), mode semantics, aggregation.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cstdlib>
 
+#include "sim/driver.hpp"
 #include "sim/experiment.hpp"
+#include "util/rng.hpp"
 
 namespace dynvote {
 namespace {
@@ -79,6 +82,77 @@ TEST(Experiment, EnvOverridesParse) {
 TEST(Experiment, ModeNames) {
   EXPECT_STREQ(to_string(RunMode::kFreshStart), "fresh-start");
   EXPECT_STREQ(to_string(RunMode::kCascading), "cascading");
+}
+
+TEST(Experiment, ShardsMergeBitIdenticalToSerial) {
+  const CaseSpec spec = small_case(AlgorithmKind::kYkd);
+  const CaseResult serial = run_case(spec);
+
+  CaseResult merged = run_case_shard(spec, 0, 17);
+  merged.merge(run_case_shard(spec, 17, 23));
+
+  EXPECT_EQ(merged.runs, serial.runs);
+  EXPECT_EQ(merged.successes, serial.successes);
+  EXPECT_EQ(merged.success_per_run, serial.success_per_run);
+  EXPECT_EQ(merged.stable.buckets, serial.stable.buckets);
+  EXPECT_EQ(merged.in_progress.buckets, serial.in_progress.buckets);
+  EXPECT_EQ(merged.total_rounds, serial.total_rounds);
+  EXPECT_EQ(merged.total_rounds_with_primary, serial.total_rounds_with_primary);
+  EXPECT_EQ(merged.invariant_checks, serial.invariant_checks);
+}
+
+TEST(Experiment, ShardingRequiresFreshStart) {
+  CaseSpec spec = small_case(AlgorithmKind::kYkd);
+  spec.mode = RunMode::kCascading;
+  EXPECT_THROW(run_case_shard(spec, 0, 10), PreconditionViolation);
+}
+
+// The satellite fix for wire measurement: both modes aggregate
+// `max_message_bytes` (and the wire totals) per run, so run_case must
+// agree with a hand-driven simulation loop in each mode.
+TEST(Experiment, WireStatsAggregatePerRunInBothModes) {
+  for (RunMode mode : {RunMode::kFreshStart, RunMode::kCascading}) {
+    CaseSpec spec = small_case(AlgorithmKind::kYkd);
+    spec.mode = mode;
+    spec.runs = 12;
+    spec.measure_wire_sizes = true;
+    const CaseResult result = run_case(spec);
+    SCOPED_TRACE(to_string(mode));
+    ASSERT_GT(result.wire.messages_sent, 0u);
+    ASSERT_GT(result.wire.max_message_bytes, 0u);
+    EXPECT_GE(result.wire.total_message_bytes,
+              static_cast<std::uint64_t>(result.wire.max_message_bytes));
+
+    // Mirror the documented seeding discipline and drive the simulations
+    // by hand; the per-run max/total aggregation must match exactly.
+    SimulationConfig config;
+    config.algorithm = spec.algorithm;
+    config.processes = spec.processes;
+    config.changes_per_run = spec.changes;
+    config.mean_rounds_between_changes = spec.mean_rounds;
+    config.measure_wire_sizes = true;
+    WireStats expected;
+    if (mode == RunMode::kFreshStart) {
+      for (std::uint64_t i = 0; i < spec.runs; ++i) {
+        config.seed = mix_seed(spec.base_seed, spec.processes, spec.changes,
+                               std::bit_cast<std::uint64_t>(spec.mean_rounds),
+                               i);
+        Simulation sim(config);
+        (void)sim.run_once();
+        expected.merge(sim.gcs().wire_stats());
+      }
+    } else {
+      config.seed = mix_seed(spec.base_seed, spec.processes, spec.changes,
+                             std::bit_cast<std::uint64_t>(spec.mean_rounds),
+                             0xCA5CADEull);
+      Simulation sim(config);
+      for (std::uint64_t i = 0; i < spec.runs; ++i) (void)sim.run_once();
+      expected = sim.gcs().wire_stats();
+    }
+    EXPECT_EQ(result.wire.max_message_bytes, expected.max_message_bytes);
+    EXPECT_EQ(result.wire.messages_sent, expected.messages_sent);
+    EXPECT_EQ(result.wire.total_message_bytes, expected.total_message_bytes);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,208 @@
+// The parallel sweep engine: bit-identity with the serial path for every
+// algorithm and both modes, shard-merge exactness, the thread pool, and
+// the progress hook.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "runner/sweep.hpp"
+#include "runner/thread_pool.hpp"
+
+namespace dynvote {
+namespace {
+
+CaseSpec small_case(AlgorithmKind kind, RunMode mode) {
+  CaseSpec spec;
+  spec.algorithm = kind;
+  spec.processes = 16;
+  spec.changes = 4;
+  spec.mean_rounds = 3.0;
+  spec.runs = 40;
+  spec.mode = mode;
+  spec.base_seed = 777;
+  return spec;
+}
+
+void expect_identical(const CaseResult& a, const CaseResult& b) {
+  EXPECT_EQ(a.runs, b.runs);
+  EXPECT_EQ(a.successes, b.successes);
+  EXPECT_EQ(a.success_per_run, b.success_per_run);
+  EXPECT_EQ(a.stable.buckets, b.stable.buckets);
+  EXPECT_EQ(a.stable.samples, b.stable.samples);
+  EXPECT_EQ(a.stable.max_observed, b.stable.max_observed);
+  EXPECT_EQ(a.in_progress.buckets, b.in_progress.buckets);
+  EXPECT_EQ(a.in_progress.samples, b.in_progress.samples);
+  EXPECT_EQ(a.in_progress.max_observed, b.in_progress.max_observed);
+  EXPECT_EQ(a.total_rounds, b.total_rounds);
+  EXPECT_EQ(a.total_changes, b.total_changes);
+  EXPECT_EQ(a.total_rounds_with_primary, b.total_rounds_with_primary);
+  EXPECT_EQ(a.wire.messages_sent, b.wire.messages_sent);
+  EXPECT_EQ(a.wire.protocol_messages_sent, b.wire.protocol_messages_sent);
+  EXPECT_EQ(a.wire.max_message_bytes, b.wire.max_message_bytes);
+  EXPECT_EQ(a.wire.total_message_bytes, b.wire.total_message_bytes);
+  EXPECT_EQ(a.invariant_checks, b.invariant_checks);
+}
+
+// The headline guarantee: a parallel sweep at 4 workers, with shards small
+// enough that every fresh-start case splits, reproduces the serial
+// `run_case` bit for bit -- for every algorithm and both modes.
+TEST(Sweep, ParallelBitIdenticalToSerialEverywhere) {
+  for (RunMode mode : {RunMode::kFreshStart, RunMode::kCascading}) {
+    SweepSpec sweep;
+    sweep.jobs = 4;
+    sweep.min_shard_runs = 8;  // 40-run cases shard into several pieces
+    NullProgress quiet;
+    sweep.progress = &quiet;
+    for (AlgorithmKind kind : all_algorithm_kinds()) {
+      SweepCase c;
+      c.spec = small_case(kind, mode);
+      c.spec.measure_wire_sizes = true;  // wire stats must merge exactly too
+      sweep.cases.push_back(std::move(c));
+    }
+    const SweepResult swept = run_sweep(sweep);
+    ASSERT_EQ(swept.cases.size(), all_algorithm_kinds().size());
+
+    for (std::size_t i = 0; i < swept.cases.size(); ++i) {
+      SCOPED_TRACE(swept.cases[i].algorithm + " / " + to_string(mode));
+      const CaseResult serial = run_case(swept.cases[i].spec);
+      expect_identical(swept.cases[i].result, serial);
+    }
+  }
+}
+
+TEST(Sweep, ShardBoundariesNeverChangeResults) {
+  SweepCase c;
+  c.spec = small_case(AlgorithmKind::kYkd, RunMode::kFreshStart);
+  const CaseResult serial = run_case(c.spec);
+  for (std::uint64_t min_shard : {1u, 7u, 16u, 100u}) {
+    SweepSpec sweep;
+    sweep.jobs = 3;
+    sweep.min_shard_runs = min_shard;
+    NullProgress quiet;
+    sweep.progress = &quiet;
+    sweep.cases = {c};
+    const SweepResult swept = run_sweep(sweep);
+    SCOPED_TRACE(min_shard);
+    expect_identical(swept.cases[0].result, serial);
+  }
+}
+
+TEST(Sweep, ResultsAlignWithCaseOrderAndCarryTelemetry) {
+  SweepSpec sweep;
+  sweep.jobs = 2;
+  NullProgress quiet;
+  sweep.progress = &quiet;
+  sweep.cases = availability_grid(
+      {AlgorithmKind::kYkd, AlgorithmKind::kSimpleMajority}, {0.0, 3.0}, 4,
+      RunMode::kFreshStart, 20, 777, 16);
+  ASSERT_EQ(sweep.cases.size(), 4u);
+
+  const SweepResult swept = run_sweep(sweep);
+  ASSERT_EQ(swept.cases.size(), 4u);
+  EXPECT_EQ(swept.cases[0].algorithm, "ykd");
+  EXPECT_EQ(swept.cases[2].algorithm, "simple-majority");
+  EXPECT_EQ(swept.cases[1].spec.mean_rounds, 3.0);
+  for (const CaseOutcome& outcome : swept.cases) {
+    EXPECT_EQ(outcome.result.runs, 20u);
+    EXPECT_GT(outcome.result.invariant_checks, 0u);
+    EXPECT_GT(outcome.compute_seconds, 0.0);
+    EXPECT_GT(outcome.runs_per_sec, 0.0);
+  }
+  EXPECT_GT(swept.wall_seconds, 0.0);
+  EXPECT_EQ(swept.jobs, 2u);
+}
+
+TEST(Sweep, FactoryCasesRunUnderTheirLabel) {
+  SweepSpec sweep;
+  sweep.jobs = 2;
+  NullProgress quiet;
+  sweep.progress = &quiet;
+  SweepCase c;
+  c.algorithm = "custom-ykd";
+  c.spec = small_case(AlgorithmKind::kSimpleMajority, RunMode::kFreshStart);
+  c.spec.algorithm_factory = [](ProcessId self, const View& initial) {
+    return make_algorithm(AlgorithmKind::kYkd, self, initial);
+  };
+  sweep.cases = {c};
+  const SweepResult swept = run_sweep(sweep);
+  EXPECT_EQ(swept.cases[0].algorithm, "custom-ykd");
+  expect_identical(swept.cases[0].result, run_case(c.spec));
+}
+
+class CountingSink final : public ProgressSink {
+ public:
+  void case_done(const CaseTelemetry& telemetry, std::size_t done,
+                 std::size_t total) override {
+    ++cases_seen;
+    last_done = done;
+    last_total = total;
+    EXPECT_FALSE(telemetry.label.empty());
+    EXPECT_GT(telemetry.runs, 0u);
+  }
+  void sweep_done(const std::string&, std::size_t, double) override {
+    ++sweeps_seen;
+  }
+
+  std::atomic<std::size_t> cases_seen{0};
+  std::size_t last_done = 0;
+  std::size_t last_total = 0;
+  std::size_t sweeps_seen = 0;
+};
+
+TEST(Sweep, ProgressSinkSeesEveryCaseExactlyOnce) {
+  CountingSink sink;
+  SweepSpec sweep;
+  sweep.jobs = 4;
+  sweep.min_shard_runs = 8;
+  sweep.progress = &sink;
+  sweep.cases = availability_grid({AlgorithmKind::kYkd}, {0.0, 2.0, 4.0}, 4,
+                                  RunMode::kFreshStart, 24, 777, 16);
+  (void)run_sweep(sweep);
+  EXPECT_EQ(sink.cases_seen.load(), 3u);
+  EXPECT_EQ(sink.last_done, 3u);
+  EXPECT_EQ(sink.last_total, 3u);
+  EXPECT_EQ(sink.sweeps_seen, 1u);
+}
+
+TEST(Sweep, JobsFromEnvRespectsOverride) {
+  ::setenv("DV_JOBS", "3", 1);
+  EXPECT_EQ(jobs_from_env(), 3u);
+  ::setenv("DV_JOBS", "0", 1);
+  EXPECT_EQ(jobs_from_env(), 1u);  // zero clamps to one worker
+  ::unsetenv("DV_JOBS");
+  EXPECT_GE(jobs_from_env(), 1u);
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  std::atomic<int> counter{0};
+  ThreadPool pool(4);
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+  // The pool stays usable after a wait.
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 101);
+}
+
+TEST(ThreadPool, RethrowsTheFirstTaskError) {
+  std::atomic<int> counter{0};
+  ThreadPool pool(2);
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&counter, i] {
+      if (i == 3) throw std::runtime_error("shard failed");
+      counter.fetch_add(1);
+    });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(counter.load(), 9);
+  // The error is consumed; the next wait succeeds.
+  pool.wait_idle();
+}
+
+}  // namespace
+}  // namespace dynvote

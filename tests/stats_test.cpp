@@ -37,6 +37,60 @@ TEST(AmbiguityHistogram, MergeAccumulates) {
   EXPECT_EQ(a.buckets[4], 1u);
 }
 
+TEST(CaseResult, MergeConcatenatesRunsInOrder) {
+  CaseResult a, b;
+  RunResult r1;
+  r1.primary_at_end = true;
+  r1.observer_ambiguous_at_end = 1;
+  r1.observer_ambiguous_at_changes = {0, 2};
+  r1.rounds_executed = 5;
+  r1.changes_applied = 2;
+  r1.rounds_with_primary = 4;
+  a.record(r1);
+  a.wire.messages_sent = 10;
+  a.wire.max_message_bytes = 100;
+  a.wire.total_message_bytes = 500;
+  a.invariant_checks = 7;
+
+  RunResult r2;
+  r2.primary_at_end = false;
+  r2.observer_ambiguous_at_end = 5;
+  r2.rounds_executed = 3;
+  b.record(r2);
+  b.record(r1);
+  b.wire.messages_sent = 4;
+  b.wire.max_message_bytes = 250;
+  b.wire.total_message_bytes = 300;
+  b.invariant_checks = 2;
+
+  a.merge(b);
+  EXPECT_EQ(a.runs, 3u);
+  EXPECT_EQ(a.successes, 2u);
+  EXPECT_EQ(a.success_per_run, (std::vector<bool>{true, false, true}));
+  EXPECT_EQ(a.stable.samples, 3u);
+  EXPECT_EQ(a.stable.max_observed, 5u);
+  EXPECT_EQ(a.in_progress.samples, 4u);
+  EXPECT_EQ(a.total_rounds, 13u);
+  EXPECT_EQ(a.total_changes, 4u);
+  EXPECT_EQ(a.total_rounds_with_primary, 8u);
+  EXPECT_EQ(a.wire.messages_sent, 14u);
+  EXPECT_EQ(a.wire.max_message_bytes, 250u);
+  EXPECT_EQ(a.wire.total_message_bytes, 800u);
+  EXPECT_EQ(a.invariant_checks, 9u);
+}
+
+TEST(CaseResult, MergeIntoEmptyIsIdentity) {
+  CaseResult a, b;
+  RunResult run;
+  run.primary_at_end = true;
+  run.rounds_executed = 2;
+  b.record(run);
+  a.merge(b);
+  EXPECT_EQ(a.runs, 1u);
+  EXPECT_EQ(a.successes, 1u);
+  EXPECT_EQ(a.success_per_run, b.success_per_run);
+}
+
 TEST(CaseResult, RecordsRuns) {
   CaseResult r;
   RunResult success;
