@@ -1,5 +1,8 @@
 #include "core/algorithm.hpp"
 
+#include <stdexcept>
+#include <string>
+
 #include "core/dfls.hpp"
 #include "core/mr1p.hpp"
 #include "core/one_pending.hpp"
@@ -14,6 +17,16 @@ PrimaryComponentAlgorithm::PrimaryComponentAlgorithm(ProcessId self,
     : self_(self), initial_view_(std::move(initial_view)) {
   DV_REQUIRE(initial_view_.members.contains(self_),
              "process must be a member of its initial view");
+}
+
+void PrimaryComponentAlgorithm::save(Encoder& /*enc*/) const {
+  throw std::logic_error("algorithm \"" + std::string(name()) +
+                         "\" does not implement snapshotting");
+}
+
+void PrimaryComponentAlgorithm::load(Decoder& /*dec*/) {
+  throw std::logic_error("algorithm \"" + std::string(name()) +
+                         "\" does not implement snapshotting");
 }
 
 std::vector<AlgorithmKind> all_algorithm_kinds() {

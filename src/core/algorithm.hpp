@@ -113,6 +113,21 @@ class PrimaryComponentAlgorithm {
 
   virtual AlgorithmDebugInfo debug_info() const = 0;
 
+  /// Serialize every piece of mutable state -- persistent protocol state
+  /// *and* per-view exchange progress -- onto the codec stream.  Constructor
+  /// configuration (self id, initial view, variant options) is not written:
+  /// a snapshot is only ever restored into an instance built with the same
+  /// configuration, which the snapshot envelope enforces (snapshot.hpp).
+  /// All shipped algorithms override this; the default (for plugged-in
+  /// research algorithms that have not yet implemented snapshotting) throws
+  /// std::logic_error, so such a simulation is simply not checkpointable.
+  virtual void save(Encoder& enc) const;
+
+  /// Exact inverse of save(): after load() the instance behaves
+  /// indistinguishably from the one that was saved, message for message.
+  /// Throws DecodeError on truncated or malformed input.
+  virtual void load(Decoder& dec);
+
   /// The last primary this process formed or adopted, by reference -- the
   /// invariant checker reads this once per process per round, so it must
   /// not copy.

@@ -77,6 +77,8 @@ class Mr1p final : public PrimaryComponentAlgorithm {
   std::string_view name() const override { return "mr1p"; }
   AlgorithmDebugInfo debug_info() const override;
   const Session& last_primary_session() const override { return cur_primary_; }
+  void save(Encoder& enc) const override;
+  void load(Decoder& dec) override;
 
  private:
   void try_new();

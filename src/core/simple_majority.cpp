@@ -24,6 +24,18 @@ std::optional<Message> SimpleMajority::outgoing_message_poll(const Message& /*ap
   return std::nullopt;  // sends nothing of its own
 }
 
+void SimpleMajority::save(Encoder& enc) const {
+  enc.put_bool(in_primary_);
+  current_view_.encode(enc);
+  last_primary_.encode(enc);
+}
+
+void SimpleMajority::load(Decoder& dec) {
+  in_primary_ = dec.get_bool();
+  current_view_ = View::decode(dec);
+  last_primary_ = Session::decode(dec);
+}
+
 AlgorithmDebugInfo SimpleMajority::debug_info() const {
   AlgorithmDebugInfo info;
   info.last_primary = last_primary_;

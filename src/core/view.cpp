@@ -1,0 +1,19 @@
+#include "core/view.hpp"
+
+#include "util/codec.hpp"
+
+namespace dynvote {
+
+void View::encode(Encoder& enc) const {
+  enc.put_varint(id);
+  members.encode(enc);
+}
+
+View View::decode(Decoder& dec) {
+  View v;
+  v.id = dec.get_varint();
+  v.members = ProcessSet::decode(dec);
+  return v;
+}
+
+}  // namespace dynvote

@@ -13,6 +13,9 @@
 
 namespace dynvote {
 
+class Encoder;
+class Decoder;
+
 struct View {
   ViewId id = 0;
   ProcessSet members;
@@ -22,6 +25,10 @@ struct View {
   std::string to_string() const {
     return "view#" + std::to_string(id) + members.to_string();
   }
+
+  /// Wire format: varint id + the member bitmap (checkpoint/restore).
+  void encode(Encoder& enc) const;
+  static View decode(Decoder& dec);
 };
 
 }  // namespace dynvote

@@ -233,6 +233,106 @@ void YkdFamilyBase::form_primary() {
   on_primary_formed();
 }
 
+namespace {
+
+void encode_sessions(Encoder& enc, const std::vector<Session>& sessions) {
+  enc.put_varint(sessions.size());
+  for (const Session& s : sessions) s.encode(enc);
+}
+
+std::vector<Session> decode_sessions(Decoder& dec) {
+  const std::uint64_t n = dec.get_varint();
+  if (n > 1'000'000) throw DecodeError("implausible session vector length");
+  std::vector<Session> out;
+  out.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) out.push_back(Session::decode(dec));
+  return out;
+}
+
+void encode_staged_payload(Encoder& enc, const ProtocolPayload& payload) {
+  enc.put_bytes(encode_payload(payload));
+}
+
+PayloadPtr decode_staged_payload(Decoder& dec) {
+  const std::vector<std::byte> bytes = dec.get_bytes();
+  return decode_payload(bytes);
+}
+
+}  // namespace
+
+void YkdFamilyBase::save(Encoder& enc) const {
+  last_primary_.encode(enc);
+  encode_sessions(enc, last_formed_);
+  encode_sessions(enc, ambiguous_);
+  enc.put_varint(session_number_);
+  enc.put_bool(in_primary_);
+  enc.put_bool(blocked_);
+  current_view_.encode(enc);
+  enc.put_u8(static_cast<std::uint8_t>(stage_));
+
+  // The state map iterates in hash order; write it sorted by process id so
+  // identical algorithm states always produce identical snapshot bytes.
+  std::vector<ProcessId> senders;
+  senders.reserve(states_.size());
+  for (const auto& [q, state] : states_) senders.push_back(q);
+  std::sort(senders.begin(), senders.end());
+  enc.put_varint(senders.size());
+  for (ProcessId q : senders) {
+    enc.put_varint(q);
+    encode_staged_payload(enc, *states_.at(q));
+  }
+
+  attempts_received_.encode(enc);
+  proposed_.encode(enc);
+  enc.put_varint(outbox_.size());
+  for (const PayloadPtr& p : outbox_) encode_staged_payload(enc, *p);
+  save_extra(enc);
+}
+
+void YkdFamilyBase::load(Decoder& dec) {
+  last_primary_ = Session::decode(dec);
+  last_formed_ = decode_sessions(dec);
+  ambiguous_ = decode_sessions(dec);
+  session_number_ = dec.get_varint();
+  in_primary_ = dec.get_bool();
+  blocked_ = dec.get_bool();
+  current_view_ = View::decode(dec);
+  const std::uint8_t raw_stage = dec.get_u8();
+  if (raw_stage > static_cast<std::uint8_t>(Stage::kAttempting)) {
+    throw DecodeError("bad YKD stage");
+  }
+  stage_ = static_cast<Stage>(raw_stage);
+
+  const std::uint64_t state_count = dec.get_varint();
+  if (state_count > initial_view_.members.universe_size()) {
+    throw DecodeError("more exchange states than processes");
+  }
+  states_.clear();
+  for (std::uint64_t i = 0; i < state_count; ++i) {
+    const ProcessId q = static_cast<ProcessId>(dec.get_varint());
+    PayloadPtr payload = decode_staged_payload(dec);
+    if (payload->type() != PayloadType::kStateExchange) {
+      throw DecodeError("exchange map entry is not a state-exchange payload");
+    }
+    states_[q] =
+        std::static_pointer_cast<const StateExchangePayload>(std::move(payload));
+  }
+
+  attempts_received_ = ProcessSet::decode(dec);
+  proposed_ = Session::decode(dec);
+  const std::uint64_t staged = dec.get_varint();
+  if (staged > 1'000'000) throw DecodeError("implausible outbox length");
+  outbox_.clear();
+  for (std::uint64_t i = 0; i < staged; ++i) {
+    outbox_.push_back(decode_staged_payload(dec));
+  }
+  load_extra(dec);
+}
+
+void YkdFamilyBase::save_extra(Encoder& /*enc*/) const {}
+
+void YkdFamilyBase::load_extra(Decoder& /*dec*/) {}
+
 AlgorithmDebugInfo YkdFamilyBase::debug_info() const {
   AlgorithmDebugInfo info;
   info.last_primary = last_primary_;

@@ -61,6 +61,12 @@ class YkdFamilyBase : public PrimaryComponentAlgorithm {
   AlgorithmDebugInfo debug_info() const override;
   const Session& last_primary_session() const override { return last_primary_; }
 
+  /// Checkpoint every mutable field -- persistent state, exchange progress,
+  /// the staged outbox -- so a restored instance resumes mid-protocol.
+  /// Variant-private state rides along via save_extra()/load_extra().
+  void save(Encoder& enc) const override;
+  void load(Decoder& dec) override;
+
  protected:
   using StateMap =
       std::unordered_map<ProcessId,
@@ -119,6 +125,12 @@ class YkdFamilyBase : public PrimaryComponentAlgorithm {
   /// Queue a protocol payload for the next poll, stamping it with the
   /// current view id.
   void stage(std::shared_ptr<ProtocolPayload> payload);
+
+  /// Appended to / consumed from the checkpoint stream after the base
+  /// state; variants with extra mutable fields (DFLS's GC round) override
+  /// both, symmetrically.
+  virtual void save_extra(Encoder& enc) const;
+  virtual void load_extra(Decoder& dec);
 
   const View& current_view() const { return current_view_; }
 

@@ -124,6 +124,15 @@ class Gcs {
   /// (The invariant checker guarantees per-component agreement.)
   bool has_primary() const;
 
+  /// Serialize the full mutable state: topology, in-flight messages, the
+  /// delivery RNG, every algorithm instance (as a length-prefixed blob so
+  /// framing survives algorithm changes), installed views, wire counters,
+  /// and the crash set.  Constructor configuration (algorithm kind, process
+  /// count, options) is NOT written; `load` restores into a Gcs built with
+  /// the same configuration, which the snapshot envelope enforces.
+  void save(Encoder& enc) const;
+  void load(Decoder& dec);
+
  private:
   void install_view(const ProcessSet& members);
   void deliver(ProcessId recipient, const Message& message, ProcessId sender);

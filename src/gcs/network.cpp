@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "util/assert.hpp"
+#include "util/codec.hpp"
 
 namespace dynvote {
 
@@ -51,6 +52,33 @@ void Network::flush_for_partition(const ProcessSet& component,
     if (crosses(m.sender)) deliver_to(m, far_side, deliver);
   }
   in_flight_ = std::move(kept);
+}
+
+void Network::encode(Encoder& enc) const {
+  enc.put_varint(in_flight_.size());
+  for (const Multicast& m : in_flight_) {
+    enc.put_varint(m.sender);
+    m.scope.encode(enc);
+    enc.put_bytes(m.message.serialize());
+  }
+}
+
+Network Network::decode(Decoder& dec) {
+  const std::uint64_t count = dec.get_varint();
+  if (count > 1'000'000) throw DecodeError("implausible in-flight count");
+  Network net;
+  net.in_flight_.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const ProcessId sender = static_cast<ProcessId>(dec.get_varint());
+    ProcessSet scope = ProcessSet::decode(dec);
+    if (!scope.contains(sender)) {
+      throw DecodeError("in-flight multicast sender outside its scope");
+    }
+    const std::vector<std::byte> bytes = dec.get_bytes();
+    net.in_flight_.push_back(
+        Multicast{sender, std::move(scope), Message::parse(bytes)});
+  }
+  return net;
 }
 
 void Network::flush_for_merge(const ProcessSet& component,

@@ -27,6 +27,9 @@
 
 namespace dynvote {
 
+class Encoder;
+class Decoder;
+
 class Network {
  public:
   /// Called once per (message, recipient) delivery.
@@ -61,6 +64,10 @@ class Network {
 
   bool idle() const { return in_flight_.empty(); }
   std::size_t in_flight_count() const { return in_flight_.size(); }
+
+  void encode(Encoder& enc) const;
+  /// Throws DecodeError on a multicast whose sender is outside its scope.
+  static Network decode(Decoder& dec);
 
  private:
   struct Multicast {

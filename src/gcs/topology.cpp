@@ -1,6 +1,7 @@
 #include "gcs/topology.hpp"
 
 #include "util/assert.hpp"
+#include "util/codec.hpp"
 
 namespace dynvote {
 
@@ -57,6 +58,40 @@ std::vector<std::size_t> Topology::splittable_components() const {
     if (components_[i].count() >= 2) out.push_back(i);
   }
   return out;
+}
+
+void Topology::encode(Encoder& enc) const {
+  enc.put_varint(universe_size_);
+  enc.put_varint(components_.size());
+  for (const ProcessSet& c : components_) c.encode(enc);
+}
+
+Topology Topology::decode(Decoder& dec) {
+  const std::uint64_t universe = dec.get_varint();
+  if (universe == 0 || universe > 4096) {
+    throw DecodeError("implausible topology universe size");
+  }
+  const std::uint64_t count = dec.get_varint();
+  if (count == 0 || count > universe) {
+    throw DecodeError("implausible topology component count");
+  }
+  Topology topo(static_cast<std::size_t>(universe));
+  topo.components_.clear();
+  ProcessSet seen(static_cast<std::size_t>(universe));
+  std::size_t total = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    ProcessSet c = ProcessSet::decode(dec);
+    if (c.universe_size() != universe || c.empty() || seen.intersects(c)) {
+      throw DecodeError("topology components are not disjoint");
+    }
+    seen = seen.united_with(c);
+    total += c.count();
+    topo.components_.push_back(std::move(c));
+  }
+  if (total != universe) {
+    throw DecodeError("topology components do not cover the universe");
+  }
+  return topo;
 }
 
 void Topology::check_disjoint_cover() const {

@@ -15,6 +15,9 @@
 
 namespace dynvote {
 
+class Encoder;
+class Decoder;
+
 class Topology {
  public:
   /// All `universe_size` processes start mutually connected.
@@ -43,6 +46,11 @@ class Topology {
 
   /// Indices of components with at least two members.
   std::vector<std::size_t> splittable_components() const;
+
+  void encode(Encoder& enc) const;
+  /// Throws DecodeError if the stored components are not a disjoint cover
+  /// of the universe (a corrupted or hand-edited snapshot, not a bug).
+  static Topology decode(Decoder& dec);
 
  private:
   void check_disjoint_cover() const;

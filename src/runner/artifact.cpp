@@ -1,8 +1,10 @@
 #include "runner/artifact.hpp"
 
+#include <cstdio>
 #include <ctime>
 #include <filesystem>
 #include <fstream>
+#include <string_view>
 
 #include "runner/json.hpp"
 #include "util/env.hpp"
@@ -26,7 +28,11 @@ void histogram_json(JsonWriter& json, const AmbiguityHistogram& histogram) {
   json.end_object();
 }
 
-void case_json(JsonWriter& json, const CaseOutcome& outcome) {
+/// Per-case document.  `include_volatile` adds the timing and scheduling
+/// telemetry that legitimately differs between reruns of the same sweep;
+/// the deterministic-results view leaves it out.
+void case_json(JsonWriter& json, const CaseOutcome& outcome,
+               bool include_volatile) {
   const CaseSpec& spec = outcome.spec;
   const CaseResult& r = outcome.result;
   json.begin_object();
@@ -54,12 +60,55 @@ void case_json(JsonWriter& json, const CaseOutcome& outcome) {
   json.key("invariant_checks").value(r.invariant_checks);
   json.key("total_rounds").value(r.total_rounds);
   json.key("total_changes").value(r.total_changes);
-  json.key("compute_seconds").value(outcome.compute_seconds);
-  json.key("runs_per_sec").value(outcome.runs_per_sec);
+  if (include_volatile) {
+    json.key("compute_seconds").value(outcome.compute_seconds);
+    json.key("runs_per_sec").value(outcome.runs_per_sec);
+    json.key("shards").value(static_cast<std::uint64_t>(outcome.shards));
+    json.key("steals").value(static_cast<std::uint64_t>(outcome.steals));
+  }
   json.end_object();
 }
 
+std::uint64_t fnv1a(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
 }  // namespace
+
+std::string manifest_results_json(const SweepSpec& spec,
+                                  const SweepResult& result) {
+  std::uint64_t total_runs = 0;
+  for (const CaseOutcome& outcome : result.cases) {
+    total_runs += outcome.result.runs;
+  }
+
+  JsonWriter json;
+  json.begin_object();
+  json.key("schema").value(kSweepManifestSchema);
+  json.key("sweep").value(spec.name);
+  json.key("total_runs").value(total_runs);
+  json.key("cases").begin_array();
+  for (const CaseOutcome& outcome : result.cases) {
+    case_json(json, outcome, /*include_volatile=*/false);
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+std::string results_fingerprint(const SweepSpec& spec,
+                                const SweepResult& result) {
+  const std::uint64_t hash = fnv1a(manifest_results_json(spec, result));
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(hash));
+  return std::string(buf);
+}
 
 std::string manifest_json(const SweepSpec& spec, const SweepResult& result) {
   std::uint64_t total_runs = 0;
@@ -77,8 +126,11 @@ std::string manifest_json(const SweepSpec& spec, const SweepResult& result) {
   json.key("jobs").value(static_cast<std::uint64_t>(result.jobs));
   json.key("wall_seconds").value(result.wall_seconds);
   json.key("total_runs").value(total_runs);
+  json.key("results_fingerprint").value(results_fingerprint(spec, result));
   json.key("cases").begin_array();
-  for (const CaseOutcome& outcome : result.cases) case_json(json, outcome);
+  for (const CaseOutcome& outcome : result.cases) {
+    case_json(json, outcome, /*include_volatile=*/true);
+  }
   json.end_array();
   json.end_object();
   return json.str();

@@ -9,11 +9,12 @@
 // the repo: comparing two manifests of the same sweep across commits shows
 // both statistical drift and speed drift.
 //
-// Layout (schema "dynvote.sweep.v1"):
+// Layout (schema "dynvote.sweep.v2"):
 //   {
-//     "schema": "dynvote.sweep.v1",
+//     "schema": "dynvote.sweep.v2",
 //     "sweep": "<name>", "created_unix": ..., "git_describe": "...",
 //     "jobs": N, "wall_seconds": ..., "total_runs": ...,
+//     "results_fingerprint": "<hex>",
 //     "cases": [ { "algorithm": "...", "processes": ..., "changes": ...,
 //                  "rate": ..., "crash_fraction": ..., "mode": "...",
 //                  "base_seed": ..., "runs": ..., "successes": ...,
@@ -26,8 +27,16 @@
 //                           "total_message_bytes": ..},
 //                  "invariant_checks": .., "total_rounds": ..,
 //                  "total_changes": .., "compute_seconds": ..,
-//                  "runs_per_sec": .. }, ... ]
+//                  "runs_per_sec": .., "shards": .., "steals": .. }, ... ]
 //   }
+//
+// Everything timing- or scheduling-flavored (created_unix, git_describe,
+// jobs, wall_seconds, compute_seconds, runs_per_sec, shards, steals) is
+// legitimately volatile between reruns.  The deterministic remainder is
+// exposed separately as `manifest_results_json`, whose bytes must be
+// identical for any DV_JOBS / shard sizing / scheduling, and whose hash is
+// stamped into the full manifest as "results_fingerprint" so two manifests
+// can be compared for statistical drift at a glance.
 #pragma once
 
 #include <string>
@@ -37,10 +46,21 @@
 namespace dynvote {
 
 /// Schema identifier stamped into every manifest; bump on layout changes.
-inline constexpr const char* kSweepManifestSchema = "dynvote.sweep.v1";
+inline constexpr const char* kSweepManifestSchema = "dynvote.sweep.v2";
 
 /// Render the manifest document for a finished sweep.
 std::string manifest_json(const SweepSpec& spec, const SweepResult& result);
+
+/// Render only the deterministic subset -- sweep name, case coordinates,
+/// and measured results; no timestamps, timing, worker counts, or shard
+/// telemetry.  Bit-identical across any parallelism or shard sizing; the
+/// runner tests compare these documents directly.
+std::string manifest_results_json(const SweepSpec& spec,
+                                  const SweepResult& result);
+
+/// FNV-1a hash of `manifest_results_json`, as 16 hex digits.
+std::string results_fingerprint(const SweepSpec& spec,
+                                const SweepResult& result);
 
 /// Write the manifest to `<artifact dir>/BENCH_<spec.name>.json` and
 /// return the path.  The directory comes from DV_ARTIFACT_DIR (default

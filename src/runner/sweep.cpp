@@ -1,7 +1,9 @@
 #include "runner/sweep.hpp"
 
-#include <atomic>
+#include <algorithm>
 #include <chrono>
+#include <condition_variable>
+#include <deque>
 #include <mutex>
 #include <sstream>
 #include <thread>
@@ -22,21 +24,19 @@ double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-/// A unit of worker execution: one whole cascading case, or one contiguous
-/// run range of a fresh-start case.
-struct Shard {
-  std::size_t case_index;
-  std::size_t shard_index;
-  std::uint64_t first_run;
-  std::uint64_t run_count;
-};
+/// The floor SweepSpec::min_shard_runs == 0 resolves to.
+constexpr std::uint64_t kAutoShardFloor = 32;
+
+std::uint64_t shard_floor(std::uint64_t min_shard_runs) {
+  return min_shard_runs == 0 ? kAutoShardFloor : min_shard_runs;
+}
 
 /// Shard sizing: enough shards to keep every worker busy with a few
 /// helpings per case, but never below the configured floor -- boundaries
 /// are a pure performance knob, results are identical for any split.
 std::uint64_t shard_size_for(std::uint64_t runs, std::size_t jobs,
                              std::uint64_t min_shard_runs) {
-  const std::uint64_t floor = std::max<std::uint64_t>(1, min_shard_runs);
+  const std::uint64_t floor = shard_floor(min_shard_runs);
   const std::uint64_t target = runs / (static_cast<std::uint64_t>(jobs) * 4);
   return std::max(floor, target);
 }
@@ -87,6 +87,59 @@ std::vector<SweepCase> availability_grid(
   return cases;
 }
 
+namespace {
+
+/// A discrete unit of worker execution.  Fresh-start run chunks are NOT
+/// represented here -- they are claimed dynamically from per-case cursors,
+/// so chunk sizes adapt to how much work is left.
+struct WorkUnit {
+  enum class Kind {
+    /// Unchecked replay of a cascading case emitting shard checkpoints.
+    kScout,
+    /// One checked run range of a cascading case (restored from its
+    /// checkpoint; the first shard starts fresh).
+    kCascadeShard,
+    /// An entire case executed serially (cascading cases too small to be
+    /// worth scouting).
+    kWholeCase,
+  };
+
+  Kind kind = Kind::kWholeCase;
+  std::size_t case_index = 0;
+  /// kCascadeShard: index into the case's checkpoint vector, or SIZE_MAX
+  /// for the fresh first shard.
+  std::size_t checkpoint_index = 0;
+  std::uint64_t first_run = 0;
+  std::uint64_t run_count = 0;
+};
+
+/// One finished contiguous run range, keyed by its first run index so the
+/// case merge can sort into run order regardless of completion order.
+struct ShardPartial {
+  std::uint64_t first_run = 0;
+  CaseResult result;
+};
+
+/// Mutable per-case scheduler state; all fields are guarded by the
+/// scheduler mutex except where noted.
+struct CaseState {
+  /// Fresh-start parallel case: next unclaimed run index.
+  std::uint64_t next_fresh_run = 0;
+  bool fresh_parallel = false;
+  /// Cascading pipeline: shard boundaries the scout must checkpoint at.
+  std::vector<std::uint64_t> boundaries;
+  std::uint64_t cascade_shard_size = 0;
+  std::vector<CascadeCheckpoint> checkpoints;
+  std::vector<ShardPartial> partials;
+  double compute_seconds = 0.0;
+  std::uint64_t finished_runs = 0;
+  std::size_t steals = 0;
+  /// Last worker that claimed a unit of this case; SIZE_MAX = none yet.
+  std::size_t last_worker = SIZE_MAX;
+};
+
+}  // namespace
+
 SweepResult run_sweep(const SweepSpec& spec) {
   const auto sweep_start = Clock::now();
   const std::size_t jobs = spec.jobs != 0 ? spec.jobs : jobs_from_env();
@@ -98,57 +151,33 @@ SweepResult run_sweep(const SweepSpec& spec) {
   result.jobs = jobs;
   result.cases.resize(case_count);
 
-  // Plan: carve every case into shards.  Cascading cases are one shard
-  // (their runs share a single simulated world); fresh-start cases split
-  // into contiguous run ranges.
-  std::vector<Shard> shards;
-  std::vector<std::size_t> shards_per_case(case_count, 0);
-  for (std::size_t i = 0; i < case_count; ++i) {
-    const CaseSpec& cs = spec.cases[i].spec;
-    if (cs.mode == RunMode::kFreshStart && jobs > 1) {
-      const std::uint64_t size =
-          shard_size_for(cs.runs, jobs, spec.min_shard_runs);
-      std::uint64_t first = 0;
-      do {
-        const std::uint64_t count = std::min(size, cs.runs - first);
-        shards.push_back(Shard{i, shards_per_case[i], first, count});
-        ++shards_per_case[i];
-        first += count;
-      } while (first < cs.runs);
-    } else {
-      shards.push_back(Shard{i, 0, 0, cs.runs});
-      shards_per_case[i] = 1;
-    }
-  }
-
-  // Execution state, indexed by (case, shard) -- workers write only their
-  // own slots, so output never depends on scheduling order.
-  std::vector<std::vector<CaseResult>> partials(case_count);
-  std::vector<std::vector<double>> shard_seconds(case_count);
-  std::vector<std::atomic<std::size_t>> remaining(case_count);
-  for (std::size_t i = 0; i < case_count; ++i) {
-    partials[i].resize(shards_per_case[i]);
-    shard_seconds[i].resize(shards_per_case[i], 0.0);
-    remaining[i].store(shards_per_case[i], std::memory_order_relaxed);
-  }
-
   std::mutex progress_mutex;
-  std::atomic<std::size_t> cases_done{0};
+  std::size_t cases_done = 0;
 
-  const auto finish_case = [&](std::size_t case_index) {
-    // Merge shards in run order; for single-shard cases this is a move.
+  // Called with the scheduler lock NOT held (single-job path) or held only
+  // by the finishing worker's bookkeeping; partials are complete by then.
+  const auto finish_case = [&](std::size_t case_index, CaseState& state) {
     CaseOutcome& outcome = result.cases[case_index];
     outcome.algorithm = spec.cases[case_index].algorithm.empty()
                             ? to_string(spec.cases[case_index].spec.algorithm)
                             : spec.cases[case_index].algorithm;
     outcome.spec = spec.cases[case_index].spec;
-    outcome.result = std::move(partials[case_index][0]);
-    for (std::size_t s = 1; s < partials[case_index].size(); ++s) {
-      outcome.result.merge(partials[case_index][s]);
+
+    // Merge shard results in run order -- completion order is scheduling
+    // noise, run order is the deterministic serial order.
+    std::sort(state.partials.begin(), state.partials.end(),
+              [](const ShardPartial& a, const ShardPartial& b) {
+                return a.first_run < b.first_run;
+              });
+    outcome.shards = state.partials.size();
+    outcome.steals = state.steals;
+    if (!state.partials.empty()) {
+      outcome.result = std::move(state.partials[0].result);
+      for (std::size_t s = 1; s < state.partials.size(); ++s) {
+        outcome.result.merge(state.partials[s].result);
+      }
     }
-    for (double seconds : shard_seconds[case_index]) {
-      outcome.compute_seconds += seconds;
-    }
+    outcome.compute_seconds = state.compute_seconds;
     outcome.runs_per_sec =
         outcome.compute_seconds > 0.0
             ? static_cast<double>(outcome.result.runs) / outcome.compute_seconds
@@ -163,29 +192,192 @@ SweepResult run_sweep(const SweepSpec& spec) {
     telemetry.availability_percent = outcome.result.availability_percent();
 
     std::lock_guard<std::mutex> lock(progress_mutex);
-    const std::size_t done = cases_done.fetch_add(1) + 1;
-    progress.case_done(telemetry, done, case_count);
+    progress.case_done(telemetry, ++cases_done, case_count);
   };
 
-  const auto execute_shard = [&](const Shard& shard) {
-    const CaseSpec& cs = spec.cases[shard.case_index].spec;
-    const auto start = Clock::now();
-    CaseResult partial = cs.mode == RunMode::kFreshStart
-                             ? run_case_shard(cs, shard.first_run, shard.run_count)
-                             : run_case(cs);
-    shard_seconds[shard.case_index][shard.shard_index] = seconds_since(start);
-    partials[shard.case_index][shard.shard_index] = std::move(partial);
-    if (remaining[shard.case_index].fetch_sub(1) == 1) {
-      finish_case(shard.case_index);
+  if (jobs <= 1 || case_count == 0) {
+    // Serial path: every case is one unit, in order.
+    for (std::size_t i = 0; i < case_count; ++i) {
+      CaseState state;
+      const auto start = Clock::now();
+      state.partials.push_back(
+          ShardPartial{0, run_case(spec.cases[i].spec)});
+      state.compute_seconds = seconds_since(start);
+      finish_case(i, state);
+    }
+    result.wall_seconds = seconds_since(sweep_start);
+    progress.sweep_done(spec.name.empty() ? "(unnamed sweep)" : spec.name,
+                        case_count, result.wall_seconds);
+    if (!spec.name.empty()) {
+      result.artifact_path = write_manifest(spec, result);
+    }
+    return result;
+  }
+
+  // --- Parallel path: a work-stealing scheduler. ---
+  //
+  // Discrete units (scouts, whole cases, checkpoint-ready cascade shards)
+  // live in a shared deque; fresh-start runs are claimed as dynamically
+  // sized chunks straight from per-case cursors.  Any idle worker takes
+  // whatever is available, so a case started by one worker is finished by
+  // others (the steal counters record exactly that).
+  std::mutex scheduler_mutex;
+  std::condition_variable work_available;
+  std::deque<WorkUnit> unit_queue;
+  std::vector<CaseState> states(case_count);
+  std::size_t active_scouts = 0;
+  bool aborting = false;
+
+  for (std::size_t i = 0; i < case_count; ++i) {
+    const CaseSpec& cs = spec.cases[i].spec;
+    CaseState& state = states[i];
+    if (cs.runs == 0) {
+      unit_queue.push_back(WorkUnit{WorkUnit::Kind::kWholeCase, i, 0, 0, 0});
+      continue;
+    }
+    if (cs.mode == RunMode::kFreshStart) {
+      state.fresh_parallel = true;
+      continue;
+    }
+    // Cascading: shard through scout checkpoints when the case is big
+    // enough to split and the shards actually measure something the scout
+    // skips (with all observability off, re-running what the scout already
+    // simulated would only add work).
+    const std::uint64_t size =
+        shard_size_for(cs.runs, jobs, spec.min_shard_runs);
+    const bool instrumented = cs.check_invariants || cs.measure_wire_sizes;
+    if (size < cs.runs && instrumented) {
+      state.cascade_shard_size = size;
+      for (std::uint64_t b = size; b < cs.runs; b += size) {
+        state.boundaries.push_back(b);
+      }
+      unit_queue.push_back(WorkUnit{WorkUnit::Kind::kScout, i, 0, 0, 0});
+      ++active_scouts;
+    } else {
+      unit_queue.push_back(
+          WorkUnit{WorkUnit::Kind::kWholeCase, i, 0, 0, cs.runs});
+    }
+  }
+
+  // Claim the next unit for `worker`.  Returns false when the sweep has no
+  // work left (or is aborting).  Lock is held throughout.
+  const auto try_claim = [&](std::size_t worker, std::unique_lock<std::mutex>& lock,
+                             WorkUnit& out) -> bool {
+    for (;;) {
+      if (aborting) return false;
+      if (!unit_queue.empty()) {
+        out = unit_queue.front();
+        unit_queue.pop_front();
+        CaseState& state = states[out.case_index];
+        if (state.last_worker != SIZE_MAX && state.last_worker != worker) {
+          ++state.steals;
+        }
+        state.last_worker = worker;
+        return true;
+      }
+      // No discrete unit: steal a chunk of fresh-start runs.  Chunks
+      // shrink as a case drains so stragglers stay balanced.
+      for (std::size_t i = 0; i < case_count; ++i) {
+        CaseState& state = states[i];
+        const CaseSpec& cs = spec.cases[i].spec;
+        if (!state.fresh_parallel || state.next_fresh_run >= cs.runs) continue;
+        const std::uint64_t remaining = cs.runs - state.next_fresh_run;
+        const std::uint64_t chunk = std::min(
+            remaining,
+            std::max(shard_floor(spec.min_shard_runs),
+                     remaining / (static_cast<std::uint64_t>(jobs) * 2)));
+        out = WorkUnit{WorkUnit::Kind::kWholeCase, i, 0, state.next_fresh_run,
+                       chunk};
+        state.next_fresh_run += chunk;
+        if (state.last_worker != SIZE_MAX && state.last_worker != worker) {
+          ++state.steals;
+        }
+        state.last_worker = worker;
+        return true;
+      }
+      // Nothing claimable right now; scouts still running will publish
+      // more shards, so wait for them.  Otherwise the sweep is drained.
+      if (active_scouts == 0) return false;
+      work_available.wait(lock);
     }
   };
 
-  if (jobs <= 1) {
-    for (const Shard& shard : shards) execute_shard(shard);
-  } else {
-    ThreadPool pool(std::min<std::size_t>(jobs, shards.size()));
-    for (const Shard& shard : shards) {
-      pool.submit([&execute_shard, shard] { execute_shard(shard); });
+  const auto worker_loop = [&](std::size_t worker) {
+    std::unique_lock<std::mutex> lock(scheduler_mutex);
+    WorkUnit unit;
+    while (try_claim(worker, lock, unit)) {
+      lock.unlock();
+      const std::size_t i = unit.case_index;
+      const CaseSpec& cs = spec.cases[i].spec;
+      const auto start = Clock::now();
+
+      if (unit.kind == WorkUnit::Kind::kScout) {
+        std::vector<CascadeCheckpoint> checkpoints =
+            scout_cascading_case(cs, states[i].boundaries);
+        const double seconds = seconds_since(start);
+        lock.lock();
+        CaseState& state = states[i];
+        state.compute_seconds += seconds;
+        state.checkpoints = std::move(checkpoints);
+        // First shard starts fresh; shard k resumes checkpoint k-1.
+        unit_queue.push_back(WorkUnit{WorkUnit::Kind::kCascadeShard, i,
+                                      SIZE_MAX, 0, state.cascade_shard_size});
+        for (std::size_t k = 0; k < state.checkpoints.size(); ++k) {
+          const std::uint64_t first = state.checkpoints[k].first_run;
+          const std::uint64_t count =
+              std::min(state.cascade_shard_size, cs.runs - first);
+          unit_queue.push_back(
+              WorkUnit{WorkUnit::Kind::kCascadeShard, i, k, first, count});
+        }
+        --active_scouts;
+        work_available.notify_all();
+        continue;  // lock stays held for the next claim
+      }
+
+      CaseResult partial;
+      if (unit.kind == WorkUnit::Kind::kCascadeShard) {
+        static const CascadeCheckpoint kFromScratch{};
+        const CascadeCheckpoint& from =
+            unit.checkpoint_index == SIZE_MAX
+                ? kFromScratch
+                : states[i].checkpoints[unit.checkpoint_index];
+        partial = run_cascading_shard(cs, from, unit.run_count);
+      } else if (cs.mode == RunMode::kFreshStart) {
+        partial = run_case_shard(cs, unit.first_run, unit.run_count);
+      } else {
+        partial = run_case(cs);
+      }
+      const double seconds = seconds_since(start);
+
+      lock.lock();
+      CaseState& state = states[i];
+      state.compute_seconds += seconds;
+      state.partials.push_back(ShardPartial{unit.first_run, std::move(partial)});
+      state.finished_runs += unit.run_count;
+      if (state.finished_runs == cs.runs) {
+        // All runs accounted for; no other worker can touch this case.
+        lock.unlock();
+        finish_case(i, state);
+        lock.lock();
+      }
+    }
+  };
+
+  {
+    ThreadPool pool(jobs);
+    for (std::size_t w = 0; w < jobs; ++w) {
+      pool.submit([&, w] {
+        try {
+          worker_loop(w);
+        } catch (...) {
+          {
+            std::lock_guard<std::mutex> lock(scheduler_mutex);
+            aborting = true;
+          }
+          work_available.notify_all();
+          throw;
+        }
+      });
     }
     pool.wait_idle();
   }

@@ -4,14 +4,20 @@
 // change counts x rates x mode, each cell simulated for hundreds of runs.
 // The seeding discipline (a run's schedule is a pure function of the case
 // coordinates and the run index, never of the algorithm) makes fresh-start
-// cells embarrassingly parallel, so the runner fans cases -- and, within a
-// fresh-start case, contiguous shards of runs -- across a thread pool and
-// merges shard results in run order.  The merged output is bit-identical
-// to the serial `run_case` path: same success vector, same histograms,
-// same counters (the test suite asserts this for every algorithm and both
-// modes).  Cascading cases thread one simulation through all their runs
-// and therefore stay sequential *within* the case, but still parallelize
-// across cases.
+// cells embarrassingly parallel: idle workers claim contiguous run chunks
+// from any unfinished case (work stealing), and chunk results merge in run
+// order, bit-identical to the serial `run_case` path -- same success
+// vector, same histograms, same counters (the test suite asserts this for
+// every algorithm and both modes).
+//
+// Cascading cases thread one simulated world through all their runs, which
+// used to force them serial within a case.  They now pipeline through
+// simulation snapshots (sim/snapshot.hpp): a scout worker replays the
+// case's trajectory with invariant checking and wire measurement off --
+// neither affects the trajectory -- emitting a checkpoint at each shard
+// boundary, and other workers restore those checkpoints and re-run the
+// shards fully instrumented, in parallel.  Shard merges are bit-identical
+// to the serial path here too.
 //
 // DV_JOBS controls the worker count (default: hardware concurrency); every
 // sweep with a name also writes a versioned JSON manifest, see artifact.hpp.
@@ -42,10 +48,11 @@ struct SweepSpec {
   std::vector<SweepCase> cases;
   /// Worker threads; 0 means DV_JOBS, falling back to hardware concurrency.
   std::size_t jobs = 0;
-  /// Smallest shard a fresh-start case is split into.  Shard boundaries
-  /// never affect results (merge is exact); this only bounds scheduling
-  /// overhead for tiny cases.
-  std::uint64_t min_shard_runs = 32;
+  /// Smallest shard a case is split into -- honored for fresh-start chunks
+  /// AND cascading snapshot shards.  0 = auto (currently 32).  Shard
+  /// boundaries never affect results (merge is exact); this only bounds
+  /// scheduling and scout overhead for tiny cases.
+  std::uint64_t min_shard_runs = 0;
   /// Progress feed; nullptr = default_progress_sink() (stderr, silenced
   /// by DV_PROGRESS=0).
   ProgressSink* progress = nullptr;
@@ -56,10 +63,15 @@ struct CaseOutcome {
   std::string algorithm;
   CaseSpec spec;
   CaseResult result;
-  /// Summed worker time over this case's shards (its cost, regardless of
-  /// how many workers shared it).
+  /// Summed worker time over this case's shards -- including any scout
+  /// replay -- i.e. its cost, regardless of how many workers shared it.
   double compute_seconds = 0.0;
   double runs_per_sec = 0.0;
+  /// Result-producing work units this case was executed as (1 = serial).
+  std::size_t shards = 0;
+  /// Times a unit of this case was claimed by a different worker than the
+  /// previous one -- scheduling telemetry, never part of the results.
+  std::size_t steals = 0;
 };
 
 struct SweepResult {

@@ -1,6 +1,9 @@
 #include "sim/driver.hpp"
 
+#include <limits>
+
 #include "util/assert.hpp"
+#include "util/codec.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
 
@@ -52,42 +55,146 @@ void Simulation::apply(const ConnectivityChange& change) {
   if (config_.check_invariants) checker_.check(gcs_);
 }
 
-RunResult Simulation::run_once() {
-  RunResult result;
-  result.observer_ambiguous_at_changes.reserve(config_.changes_per_run);
+bool Simulation::step_event() {
+  RunResult& result = progress_.partial;
 
-  for (std::size_t c = 0; c < config_.changes_per_run; ++c) {
-    const std::size_t gap = scheduler_.next_gap();
-    for (std::size_t g = 0; g < gap; ++g) {
+  if (progress_.phase == RunProgress::Phase::kInjecting) {
+    if (!progress_.gap_drawn) {
+      progress_.gap_remaining = scheduler_.next_gap();
+      progress_.gap_drawn = true;
+    }
+    if (progress_.gap_remaining > 0) {
+      --progress_.gap_remaining;
       step_round();
       ++result.rounds_executed;
       if (gcs_.has_primary()) ++result.rounds_with_primary;
+      return false;
     }
     result.observer_ambiguous_at_changes.push_back(
         gcs_.algorithm(config_.observer).debug_info().ambiguous_count);
     apply(scheduler_.next_change(gcs_.topology(), gcs_.crashed()));
     ++result.changes_applied;
+    progress_.gap_drawn = false;
+    if (++progress_.change_index == config_.changes_per_run) {
+      progress_.phase = RunProgress::Phase::kStabilizing;
+      progress_.quiet_rounds = 0;
+    }
+    return false;
   }
 
   // Stabilization: run rounds uninterrupted until a full round passes with
   // no delivery and no send.
-  std::size_t quiet_rounds = 0;
-  while (quiet_rounds < config_.max_stabilization_rounds) {
-    step_round();
-    ++result.rounds_executed;
-    if (gcs_.has_primary()) ++result.rounds_with_primary;
-    ++quiet_rounds;
-    if (!last_round_active_) break;
+  step_round();
+  ++result.rounds_executed;
+  if (gcs_.has_primary()) ++result.rounds_with_primary;
+  ++progress_.quiet_rounds;
+  if (last_round_active_) {
+    DV_ASSERT_MSG(progress_.quiet_rounds < config_.max_stabilization_rounds,
+                  "system failed to quiesce within the stabilization budget");
+    return false;
   }
-  DV_ASSERT_MSG(!last_round_active_,
-                "system failed to quiesce within the stabilization budget");
 
   result.primary_at_end = gcs_.has_primary();
   const AlgorithmDebugInfo observer =
       gcs_.algorithm(config_.observer).debug_info();
   result.observer_ambiguous_at_end = observer.ambiguous_count;
   result.observer_blocked_at_end = observer.blocked;
-  return result;
+  return true;
+}
+
+std::optional<RunResult> Simulation::run_events(std::size_t max_events) {
+  if (!progress_.active) {
+    progress_ = RunProgress{};
+    progress_.active = true;
+    progress_.partial.observer_ambiguous_at_changes.reserve(
+        config_.changes_per_run);
+    if (config_.changes_per_run == 0) {
+      progress_.phase = RunProgress::Phase::kStabilizing;
+    }
+  }
+  for (std::size_t e = 0; e < max_events; ++e) {
+    if (step_event()) {
+      progress_.active = false;
+      return std::move(progress_.partial);
+    }
+  }
+  return std::nullopt;
+}
+
+RunResult Simulation::run_once() {
+  DV_REQUIRE(!progress_.active,
+             "run_once called with a paused run in progress");
+  auto result = run_events(std::numeric_limits<std::size_t>::max());
+  DV_ASSERT(result.has_value());
+  return *std::move(result);
+}
+
+namespace {
+
+void encode_run_result(Encoder& enc, const RunResult& r) {
+  enc.put_bool(r.primary_at_end);
+  enc.put_varint(r.observer_ambiguous_at_end);
+  enc.put_varint(r.observer_ambiguous_at_changes.size());
+  for (std::size_t v : r.observer_ambiguous_at_changes) enc.put_varint(v);
+  enc.put_varint(r.rounds_executed);
+  enc.put_varint(r.changes_applied);
+  enc.put_varint(r.rounds_with_primary);
+  enc.put_bool(r.observer_blocked_at_end);
+}
+
+RunResult decode_run_result(Decoder& dec) {
+  RunResult r;
+  r.primary_at_end = dec.get_bool();
+  r.observer_ambiguous_at_end = dec.get_varint();
+  const std::uint64_t n = dec.get_varint();
+  if (n > 1'000'000) throw DecodeError("implausible per-change sample count");
+  r.observer_ambiguous_at_changes.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    r.observer_ambiguous_at_changes.push_back(dec.get_varint());
+  }
+  r.rounds_executed = dec.get_varint();
+  r.changes_applied = dec.get_varint();
+  r.rounds_with_primary = dec.get_varint();
+  r.observer_blocked_at_end = dec.get_bool();
+  return r;
+}
+
+}  // namespace
+
+void Simulation::save(Encoder& enc) const {
+  gcs_.save(enc);
+  scheduler_.save(enc);
+  checker_.save(enc);
+  enc.put_varint(total_changes_);
+  enc.put_bool(last_round_active_);
+
+  enc.put_bool(progress_.active);
+  enc.put_u8(static_cast<std::uint8_t>(progress_.phase));
+  enc.put_varint(progress_.change_index);
+  enc.put_bool(progress_.gap_drawn);
+  enc.put_varint(progress_.gap_remaining);
+  enc.put_varint(progress_.quiet_rounds);
+  encode_run_result(enc, progress_.partial);
+}
+
+void Simulation::load(Decoder& dec) {
+  gcs_.load(dec);
+  scheduler_.load(dec);
+  checker_.load(dec);
+  total_changes_ = dec.get_varint();
+  last_round_active_ = dec.get_bool();
+
+  progress_.active = dec.get_bool();
+  const std::uint8_t raw_phase = dec.get_u8();
+  if (raw_phase > static_cast<std::uint8_t>(RunProgress::Phase::kStabilizing)) {
+    throw DecodeError("bad run phase in snapshot");
+  }
+  progress_.phase = static_cast<RunProgress::Phase>(raw_phase);
+  progress_.change_index = dec.get_varint();
+  progress_.gap_drawn = dec.get_bool();
+  progress_.gap_remaining = dec.get_varint();
+  progress_.quiet_rounds = dec.get_varint();
+  progress_.partial = decode_run_result(dec);
 }
 
 }  // namespace dynvote

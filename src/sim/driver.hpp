@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "gcs/gcs.hpp"
@@ -69,6 +70,31 @@ struct RunResult {
   std::size_t rounds_with_primary = 0;
   /// Observer blocked (wants to act, lacks quorum/members) at the end.
   bool observer_blocked_at_end = false;
+
+  bool operator==(const RunResult&) const = default;
+};
+
+/// Where a paused run stands, so a snapshot taken mid-run resumes exactly.
+struct RunProgress {
+  enum class Phase : std::uint8_t {
+    /// Still injecting the run's connectivity changes.
+    kInjecting = 0,
+    /// All changes in; running rounds until the system quiesces.
+    kStabilizing = 1,
+  };
+
+  /// A run is mid-flight (run_events stopped on its budget, not run end).
+  bool active = false;
+  Phase phase = Phase::kInjecting;
+  /// Changes applied so far in this run.
+  std::size_t change_index = 0;
+  /// The gap before change `change_index` was already drawn from the fault
+  /// stream (the draw happens lazily, once per change).
+  bool gap_drawn = false;
+  std::size_t gap_remaining = 0;
+  std::size_t quiet_rounds = 0;
+  /// Counters accumulated so far in this run.
+  RunResult partial;
 };
 
 class Simulation {
@@ -79,14 +105,35 @@ class Simulation {
   /// and report.  Callable repeatedly (cascading mode).
   RunResult run_once();
 
+  /// Resumable form of run_once: execute at most `max_events` simulation
+  /// events -- one event is one message round or one change application --
+  /// and return the RunResult if the run completed, std::nullopt if it was
+  /// paused mid-run (snapshot-safe; the next call continues it).  A run
+  /// paused at event k and resumed is bit-identical to one that never
+  /// paused: run_once() itself is run_events(no limit).
+  std::optional<RunResult> run_events(std::size_t max_events);
+
+  /// True while a run started by run_events is paused mid-run.
+  bool run_in_progress() const { return progress_.active; }
+
+  const SimulationConfig& config() const { return config_; }
   const Gcs& gcs() const { return gcs_; }
   Gcs& gcs() { return gcs_; }
   std::uint64_t total_changes() const { return total_changes_; }
   std::uint64_t invariant_checks() const { return checker_.checks_performed(); }
 
+  /// Serialize all mutable state (GCS, fault stream, checker history, run
+  /// progress).  Configuration is not written; `load` restores into a
+  /// Simulation constructed with an identical config, which the snapshot
+  /// envelope (sim/snapshot.hpp) enforces.
+  void save(Encoder& enc) const;
+  void load(Decoder& dec);
+
  private:
   void apply(const ConnectivityChange& change);
   void step_round();
+  /// Execute one event; returns true when it completed the active run.
+  bool step_event();
 
   SimulationConfig config_;
   Gcs gcs_;
@@ -94,6 +141,7 @@ class Simulation {
   InvariantChecker checker_;
   std::uint64_t total_changes_ = 0;
   bool last_round_active_ = true;
+  RunProgress progress_;
 };
 
 }  // namespace dynvote

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "sim/driver.hpp"
+#include "sim/snapshot.hpp"
 #include "util/assert.hpp"
 #include "util/env.hpp"
 #include "util/rng.hpp"
@@ -77,24 +78,72 @@ CaseResult run_case_shard(const CaseSpec& spec, std::uint64_t first_run,
   return result;
 }
 
-CaseResult run_case(const CaseSpec& spec) {
-  if (spec.mode == RunMode::kFreshStart) {
-    return run_case_shard(spec, 0, spec.runs);
+namespace {
+
+std::uint64_t cascading_seed(const CaseSpec& spec) {
+  return mix_seed(spec.base_seed, spec.processes, spec.changes,
+                  rate_key(spec.mean_rounds), 0xCA5CADEull);
+}
+
+}  // namespace
+
+std::vector<CascadeCheckpoint> scout_cascading_case(
+    const CaseSpec& spec, const std::vector<std::uint64_t>& boundaries) {
+  DV_REQUIRE(spec.mode == RunMode::kCascading,
+             "scouting only applies to cascading cases");
+  DV_REQUIRE(!boundaries.empty() && boundaries.front() > 0,
+             "boundaries must start after run 0");
+
+  CaseSpec scout = spec;
+  scout.check_invariants = false;
+  scout.measure_wire_sizes = false;
+  Simulation sim(config_for(scout, cascading_seed(scout)));
+
+  std::vector<CascadeCheckpoint> checkpoints;
+  checkpoints.reserve(boundaries.size());
+  std::uint64_t run = 0;
+  for (std::uint64_t boundary : boundaries) {
+    DV_REQUIRE(boundary > run, "boundaries must be strictly increasing");
+    while (run < boundary) {
+      (void)sim.run_once();
+      ++run;
+    }
+    checkpoints.push_back(CascadeCheckpoint{run, save_snapshot(sim)});
+  }
+  return checkpoints;
+}
+
+CaseResult run_cascading_shard(const CaseSpec& spec,
+                               const CascadeCheckpoint& checkpoint,
+                               std::uint64_t count) {
+  DV_REQUIRE(spec.mode == RunMode::kCascading,
+             "run_cascading_shard needs a cascading case");
+  Simulation sim(config_for(spec, cascading_seed(spec)));
+  if (!checkpoint.bytes.empty()) {
+    restore_snapshot(sim, checkpoint.bytes);
+  } else {
+    DV_REQUIRE(checkpoint.first_run == 0,
+               "resuming mid-case needs snapshot bytes");
   }
 
   CaseResult result;
-  result.success_per_run.reserve(spec.runs);
-  const std::uint64_t seed =
-      mix_seed(spec.base_seed, spec.processes, spec.changes,
-               rate_key(spec.mean_rounds), 0xCA5CADEull);
-  Simulation sim(config_for(spec, seed));
-  WireStats prev_wire;
-  std::uint64_t prev_checks = 0;
-  for (std::uint64_t i = 0; i < spec.runs; ++i) {
+  result.success_per_run.reserve(count);
+  // Baselines come from the restored cumulative counters, so each fold
+  // yields exactly this shard's per-run delta.
+  WireStats prev_wire = sim.gcs().wire_stats();
+  std::uint64_t prev_checks = sim.invariant_checks();
+  for (std::uint64_t i = 0; i < count; ++i) {
     result.record(sim.run_once());
     fold_run_counters(result, sim, prev_wire, prev_checks);
   }
   return result;
+}
+
+CaseResult run_case(const CaseSpec& spec) {
+  if (spec.mode == RunMode::kFreshStart) {
+    return run_case_shard(spec, 0, spec.runs);
+  }
+  return run_cascading_shard(spec, CascadeCheckpoint{}, spec.runs);
 }
 
 std::vector<double> standard_rate_sweep() {

@@ -7,6 +7,7 @@
 // sequence, exactly as the thesis did.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -51,6 +52,37 @@ CaseResult run_case(const CaseSpec& spec);
 /// out.  `spec.runs` is ignored in favor of the explicit range.
 CaseResult run_case_shard(const CaseSpec& spec, std::uint64_t first_run,
                           std::uint64_t count);
+
+/// A resumption point inside a cascading case: the simulation state after
+/// runs [0, first_run) completed, as versioned snapshot bytes
+/// (sim/snapshot.hpp).  first_run == 0 with empty bytes means "start
+/// fresh".
+struct CascadeCheckpoint {
+  std::uint64_t first_run = 0;
+  std::vector<std::byte> bytes;
+};
+
+/// Scout pass over a cascading case: replay runs [0, max(boundaries))
+/// with invariant checking and wire measurement forced OFF -- neither flag
+/// affects the trajectory, so the replay is cheap and reaches the same
+/// states -- and emit a snapshot at each requested run boundary.
+/// `boundaries` must be strictly increasing, non-empty, and start above 0.
+/// The returned checkpoints restore into fully-instrumented simulations
+/// (the snapshot envelope's config hash deliberately excludes the
+/// observability flags), which is what lets one cascading case's runs be
+/// re-simulated in parallel shards with full checking.
+std::vector<CascadeCheckpoint> scout_cascading_case(
+    const CaseSpec& spec, const std::vector<std::uint64_t>& boundaries);
+
+/// Simulate the contiguous run range [checkpoint.first_run,
+/// checkpoint.first_run + count) of a *cascading* case, restoring the
+/// world from the checkpoint first.  Counter deltas are taken against the
+/// restored cumulative values, so merging shard results in run order is
+/// bit-identical to the serial `run_case`.  `spec.runs` is ignored in
+/// favor of the explicit range.
+CaseResult run_cascading_shard(const CaseSpec& spec,
+                               const CascadeCheckpoint& checkpoint,
+                               std::uint64_t count);
 
 /// The x-axis of the availability figures: mean message rounds between
 /// connectivity changes, 0 through 12.

@@ -27,6 +27,9 @@
 
 namespace dynvote {
 
+class Encoder;
+class Decoder;
+
 struct ConnectivityChange {
   enum class Kind {
     kPartition,
@@ -71,6 +74,12 @@ class FaultScheduler {
   ConnectivityChange next_change(const Topology& topology);
 
   double change_probability() const { return p_; }
+
+  /// Serialize the mutable state (just the RNG position; `p_` and
+  /// `crash_fraction_` derive from the constructor arguments, which the
+  /// snapshot envelope pins).
+  void save(Encoder& enc) const;
+  void load(Decoder& dec);
 
  private:
   ConnectivityChange next_connectivity_change(const Topology& topology,

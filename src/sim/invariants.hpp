@@ -12,6 +12,9 @@
 
 namespace dynvote {
 
+class Encoder;
+class Decoder;
+
 class InvariantChecker {
  public:
   explicit InvariantChecker(const Gcs& gcs);
@@ -25,6 +28,9 @@ class InvariantChecker {
   void check(const Gcs& gcs);
 
   std::uint64_t checks_performed() const { return checks_; }
+
+  void save(Encoder& enc) const;
+  void load(Decoder& dec);
 
  private:
   std::vector<SessionNumber> last_primary_numbers_;

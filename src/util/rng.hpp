@@ -77,6 +77,11 @@ class Rng {
   /// own stream without correlating draws.
   std::uint64_t fork_seed() { return next_u64(); }
 
+  /// The full generator state, exposed for checkpoint/restore: a restored
+  /// stream continues the draw sequence exactly where the saved one stopped.
+  const std::array<std::uint64_t, 4>& state() const { return state_; }
+  void set_state(const std::array<std::uint64_t, 4>& state) { state_ = state; }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "runner/artifact.hpp"
 #include "runner/sweep.hpp"
 #include "runner/thread_pool.hpp"
 
@@ -164,6 +165,121 @@ TEST(Sweep, ProgressSinkSeesEveryCaseExactlyOnce) {
   EXPECT_EQ(sink.last_done, 3u);
   EXPECT_EQ(sink.last_total, 3u);
   EXPECT_EQ(sink.sweeps_seen, 1u);
+}
+
+// The seven figure sweeps (Figures 4-1..4-6 availability grids plus the
+// 4-7/4-8 ambiguous-sessions grid), smoke-sized: one worker with no
+// sharding versus eight workers with shards forced down to single runs
+// must render byte-identical deterministic manifests.
+TEST(Sweep, SevenFigureSweepsIdenticalManifestsAcrossJobs) {
+  const std::vector<AlgorithmKind> pair = {AlgorithmKind::kYkd,
+                                           AlgorithmKind::kDfls};
+  const std::vector<AlgorithmKind> trio = {AlgorithmKind::kYkd,
+                                           AlgorithmKind::kYkdUnoptimized,
+                                           AlgorithmKind::kDfls};
+  const std::vector<double> rates = {0.0, 3.0};
+
+  std::vector<SweepSpec> figures;
+  for (RunMode mode : {RunMode::kFreshStart, RunMode::kCascading}) {
+    for (std::size_t changes : {2u, 6u, 12u}) {  // Figures 4-1..4-6
+      SweepSpec sweep;
+      sweep.cases = availability_grid(pair, rates, changes, mode, 8, 777, 12);
+      for (SweepCase& c : sweep.cases) c.spec.measure_wire_sizes = true;
+      figures.push_back(std::move(sweep));
+    }
+  }
+  SweepSpec ambiguous;  // Figures 4-7/4-8
+  for (AlgorithmKind kind : trio) {
+    for (std::size_t changes : {2u, 6u, 12u}) {
+      auto grid = availability_grid({kind}, {3.0}, changes,
+                                    RunMode::kFreshStart, 8, 777, 12);
+      ambiguous.cases.insert(ambiguous.cases.end(), grid.begin(), grid.end());
+    }
+  }
+  figures.push_back(std::move(ambiguous));
+  ASSERT_EQ(figures.size(), 7u);
+
+  NullProgress quiet;
+  for (std::size_t f = 0; f < figures.size(); ++f) {
+    SCOPED_TRACE("figure sweep " + std::to_string(f));
+    SweepSpec serial = figures[f];
+    serial.jobs = 1;
+    serial.progress = &quiet;
+    SweepSpec parallel = figures[f];
+    parallel.jobs = 8;
+    parallel.min_shard_runs = 1;  // every 8-run case splits into 1-run shards
+    parallel.progress = &quiet;
+
+    const SweepResult a = run_sweep(serial);
+    const SweepResult b = run_sweep(parallel);
+    EXPECT_EQ(manifest_results_json(serial, a), manifest_results_json(parallel, b));
+    EXPECT_EQ(results_fingerprint(serial, a), results_fingerprint(parallel, b));
+  }
+}
+
+// The min_shard_runs knob is honored in BOTH modes (it used to be silently
+// ignored for cascading cases): with runs=40, jobs=4 and a floor of 8 a
+// case executes as five 8-run shards; a floor above the run count keeps
+// the case whole.  Either way the merged result is the serial one.
+TEST(Sweep, MinShardRunsHonoredForBothModes) {
+  for (RunMode mode : {RunMode::kFreshStart, RunMode::kCascading}) {
+    SweepCase c;
+    c.spec = small_case(AlgorithmKind::kYkd, mode);
+    c.spec.measure_wire_sizes = true;
+    const CaseResult serial = run_case(c.spec);
+
+    for (const auto& [min_shard, want_shards] :
+         {std::pair<std::uint64_t, std::size_t>{8, 5},
+          std::pair<std::uint64_t, std::size_t>{100, 1}}) {
+      SCOPED_TRACE(std::string(to_string(mode)) + " min_shard=" +
+                   std::to_string(min_shard));
+      SweepSpec sweep;
+      sweep.jobs = 4;
+      sweep.min_shard_runs = min_shard;
+      NullProgress quiet;
+      sweep.progress = &quiet;
+      sweep.cases = {c};
+      const SweepResult swept = run_sweep(sweep);
+      EXPECT_EQ(swept.cases[0].shards, want_shards);
+      expect_identical(swept.cases[0].result, serial);
+    }
+  }
+}
+
+// Work stealing: pin one case that dwarfs the rest and force tiny shards;
+// idle workers must drain the queue by claiming pieces of the slow case
+// (several shards, at least one claimed by a different worker), and every
+// result -- slow and fast alike -- still matches the serial path.
+TEST(Sweep, WorkStealingDrainsTheSlowCase) {
+  SweepSpec sweep;
+  sweep.jobs = 4;
+  sweep.min_shard_runs = 1;
+  NullProgress quiet;
+  sweep.progress = &quiet;
+
+  SweepCase slow;
+  slow.spec = small_case(AlgorithmKind::kYkd, RunMode::kFreshStart);
+  slow.spec.processes = 24;
+  slow.spec.changes = 8;
+  slow.spec.runs = 64;
+  sweep.cases.push_back(slow);
+  for (AlgorithmKind kind :
+       {AlgorithmKind::kSimpleMajority, AlgorithmKind::kOnePending,
+        AlgorithmKind::kDfls}) {
+    SweepCase fast;
+    fast.spec = small_case(kind, RunMode::kFreshStart);
+    fast.spec.runs = 4;
+    sweep.cases.push_back(fast);
+  }
+
+  const SweepResult swept = run_sweep(sweep);
+  ASSERT_EQ(swept.cases.size(), 4u);
+  EXPECT_GE(swept.cases[0].shards, 2u);
+  EXPECT_GE(swept.cases[0].steals, 1u);
+  for (const CaseOutcome& outcome : swept.cases) {
+    SCOPED_TRACE(outcome.algorithm);
+    expect_identical(outcome.result, run_case(outcome.spec));
+  }
 }
 
 TEST(Sweep, JobsFromEnvRespectsOverride) {

@@ -1,0 +1,269 @@
+// The snapshot-equivalence layer: interrupting any simulation at any event,
+// round-tripping it through snapshot bytes, and resuming must reproduce the
+// uninterrupted execution exactly -- for every algorithm and both sweep
+// modes.  Plus envelope hygiene: corrupted, truncated, or version-bumped
+// snapshots are rejected with DecodeError, never misread.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "sim/snapshot.hpp"
+#include "util/codec.hpp"
+#include "util/rng.hpp"
+
+namespace dynvote {
+namespace {
+
+SimulationConfig small_config(AlgorithmKind kind) {
+  SimulationConfig config;
+  config.algorithm = kind;
+  config.processes = 16;
+  config.changes_per_run = 5;
+  config.mean_rounds_between_changes = 3.0;
+  config.seed = 20260806;
+  config.measure_wire_sizes = true;  // wire counters must survive restore too
+  return config;
+}
+
+/// Drive `sim` to completion of its current (possibly mid-flight) run.
+RunResult finish_run(Simulation& sim) {
+  auto result = sim.run_events(std::size_t(-1));
+  EXPECT_TRUE(result.has_value());
+  return *result;
+}
+
+// The headline property: for every algorithm, a run interrupted at a
+// pseudo-random event index, serialized, restored into a brand-new
+// Simulation, and resumed produces the exact RunResult of the run that was
+// never interrupted -- and the restored world keeps producing identical
+// runs afterwards (the cascading guarantee).
+TEST(Snapshot, InterruptRoundTripResumeReproducesEveryAlgorithm) {
+  for (AlgorithmKind kind : all_algorithm_kinds()) {
+    SCOPED_TRACE(to_string(kind));
+    const SimulationConfig config = small_config(kind);
+    constexpr std::size_t kRuns = 4;  // cascading: later runs inherit state
+
+    Simulation uninterrupted(config);
+    std::vector<RunResult> expected;
+    for (std::size_t r = 0; r < kRuns; ++r) {
+      expected.push_back(uninterrupted.run_once());
+    }
+
+    // Interrupt points are seeded per algorithm, not hand-picked.
+    Rng salt(mix_seed(0xC0FFEEu, static_cast<std::uint64_t>(kind)));
+    const std::size_t interrupt_run = salt.below(kRuns);
+    const std::size_t interrupt_event = 1 + salt.below(60);
+
+    Simulation original(config);
+    std::vector<RunResult> actual;
+    for (std::size_t r = 0; r < interrupt_run; ++r) {
+      actual.push_back(original.run_once());
+    }
+    auto early = original.run_events(interrupt_event);
+
+    const std::vector<std::byte> bytes = save_snapshot(original);
+    Simulation restored(config);
+    restore_snapshot(restored, bytes);
+
+    // Byte determinism: saving the restored world reproduces the snapshot.
+    EXPECT_EQ(save_snapshot(restored), bytes);
+
+    if (early.has_value()) {
+      actual.push_back(*early);  // the budget outlived the run
+    } else {
+      EXPECT_TRUE(restored.run_in_progress());
+      actual.push_back(finish_run(restored));
+    }
+    for (std::size_t r = interrupt_run + 1; r < kRuns; ++r) {
+      actual.push_back(restored.run_once());
+    }
+
+    ASSERT_EQ(actual.size(), expected.size());
+    for (std::size_t r = 0; r < kRuns; ++r) {
+      SCOPED_TRACE("run " + std::to_string(r));
+      EXPECT_EQ(actual[r], expected[r]);
+    }
+    EXPECT_EQ(restored.total_changes(), uninterrupted.total_changes());
+    EXPECT_EQ(restored.invariant_checks(), uninterrupted.invariant_checks());
+    const WireStats& w0 = uninterrupted.gcs().wire_stats();
+    const WireStats& w1 = restored.gcs().wire_stats();
+    EXPECT_EQ(w1.messages_sent, w0.messages_sent);
+    EXPECT_EQ(w1.protocol_messages_sent, w0.protocol_messages_sent);
+    EXPECT_EQ(w1.max_message_bytes, w0.max_message_bytes);
+    EXPECT_EQ(w1.total_message_bytes, w0.total_message_bytes);
+  }
+}
+
+// Fresh-start mode is the single-run special case: interrupt the one run
+// at many different event indices and resume each time.
+TEST(Snapshot, FreshStartInterruptAtManyEventIndices) {
+  const SimulationConfig config = small_config(AlgorithmKind::kYkd);
+  Simulation uninterrupted(config);
+  const RunResult expected = uninterrupted.run_once();
+
+  for (std::size_t events : {1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u}) {
+    SCOPED_TRACE(events);
+    Simulation original(config);
+    auto early = original.run_events(events);
+    Simulation restored(config);
+    restore_snapshot(restored, save_snapshot(original));
+    const RunResult actual = early.has_value() ? *early : finish_run(restored);
+    EXPECT_EQ(actual, expected);
+  }
+}
+
+// A snapshot taken between runs (no run in progress) restores cleanly too.
+TEST(Snapshot, BetweenRunsSnapshotResumesTheCascade) {
+  const SimulationConfig config = small_config(AlgorithmKind::kDfls);
+  Simulation uninterrupted(config);
+  (void)uninterrupted.run_once();
+  const RunResult expected = uninterrupted.run_once();
+
+  Simulation original(config);
+  (void)original.run_once();
+  EXPECT_FALSE(original.run_in_progress());
+  Simulation restored(config);
+  restore_snapshot(restored, save_snapshot(original));
+  EXPECT_FALSE(restored.run_in_progress());
+  EXPECT_EQ(restored.run_once(), expected);
+}
+
+// The scout/shard contract: a snapshot produced with all observability off
+// restores into a fully-instrumented simulation (the config hash excludes
+// those flags) and the instrumented replay matches an instrumented run.
+TEST(Snapshot, ScoutSnapshotRestoresIntoInstrumentedSimulation) {
+  SimulationConfig instrumented = small_config(AlgorithmKind::kMr1p);
+  SimulationConfig scout = instrumented;
+  scout.check_invariants = false;
+  scout.measure_wire_sizes = false;
+
+  Simulation reference(instrumented);
+  (void)reference.run_once();
+  const RunResult expected = reference.run_once();
+
+  Simulation scouting(scout);
+  (void)scouting.run_once();
+
+  Simulation resumed(instrumented);
+  restore_snapshot(resumed, save_snapshot(scouting));
+  EXPECT_EQ(resumed.run_once(), expected);
+}
+
+TEST(Snapshot, TruncatedBytesThrow) {
+  Simulation sim(small_config(AlgorithmKind::kYkd));
+  (void)sim.run_events(10);
+  std::vector<std::byte> bytes = save_snapshot(sim);
+  for (std::size_t keep :
+       {std::size_t{0}, std::size_t{3}, bytes.size() / 2, bytes.size() - 1}) {
+    SCOPED_TRACE(keep);
+    std::vector<std::byte> cut(bytes.begin(),
+                               bytes.begin() + static_cast<std::ptrdiff_t>(keep));
+    Simulation target(small_config(AlgorithmKind::kYkd));
+    EXPECT_THROW(restore_snapshot(target, cut), DecodeError);
+  }
+}
+
+TEST(Snapshot, TrailingGarbageThrows) {
+  Simulation sim(small_config(AlgorithmKind::kYkd));
+  (void)sim.run_events(10);
+  std::vector<std::byte> bytes = save_snapshot(sim);
+  bytes.push_back(std::byte{0x5a});
+  Simulation target(small_config(AlgorithmKind::kYkd));
+  EXPECT_THROW(restore_snapshot(target, bytes), DecodeError);
+}
+
+TEST(Snapshot, VersionBumpedSchemaIsRejected) {
+  Simulation sim(small_config(AlgorithmKind::kYkd));
+  std::vector<std::byte> bytes = save_snapshot(sim);
+  // put_string writes a varint length then the characters; the schema is
+  // the first field, so its trailing version digit sits at offset 1+len-1.
+  const std::size_t version_digit = kSnapshotSchema.size();
+  ASSERT_EQ(static_cast<char>(bytes.at(version_digit)), '1');
+  bytes.at(version_digit) = std::byte{'2'};
+  Simulation target(small_config(AlgorithmKind::kYkd));
+  EXPECT_THROW(restore_snapshot(target, bytes), DecodeError);
+}
+
+TEST(Snapshot, AlgorithmMismatchIsRejected) {
+  Simulation ykd(small_config(AlgorithmKind::kYkd));
+  const std::vector<std::byte> bytes = save_snapshot(ykd);
+  Simulation dfls(small_config(AlgorithmKind::kDfls));
+  EXPECT_THROW(restore_snapshot(dfls, bytes), DecodeError);
+}
+
+TEST(Snapshot, TrajectoryConfigMismatchIsRejected) {
+  Simulation sim(small_config(AlgorithmKind::kYkd));
+  const std::vector<std::byte> bytes = save_snapshot(sim);
+
+  SimulationConfig other_seed = small_config(AlgorithmKind::kYkd);
+  other_seed.seed ^= 1;
+  Simulation target_seed(other_seed);
+  EXPECT_THROW(restore_snapshot(target_seed, bytes), DecodeError);
+
+  SimulationConfig other_rate = small_config(AlgorithmKind::kYkd);
+  other_rate.mean_rounds_between_changes += 1.0;
+  Simulation target_rate(other_rate);
+  EXPECT_THROW(restore_snapshot(target_rate, bytes), DecodeError);
+}
+
+TEST(Snapshot, ConfigHashIgnoresObservabilityFlags) {
+  SimulationConfig a = small_config(AlgorithmKind::kYkd);
+  SimulationConfig b = a;
+  b.check_invariants = !b.check_invariants;
+  b.measure_wire_sizes = !b.measure_wire_sizes;
+  b.serialize_on_wire = !b.serialize_on_wire;
+  EXPECT_EQ(config_trajectory_hash(a), config_trajectory_hash(b));
+
+  SimulationConfig c = a;
+  c.changes_per_run += 1;
+  EXPECT_NE(config_trajectory_hash(a), config_trajectory_hash(c));
+}
+
+// The experiment layer built on snapshots: a cascading case cut into scout
+// checkpoints and re-run as shards merges to the exact serial result.
+TEST(Snapshot, CascadingShardsMergeToSerialCase) {
+  for (AlgorithmKind kind :
+       {AlgorithmKind::kYkd, AlgorithmKind::kOnePending}) {
+    SCOPED_TRACE(to_string(kind));
+    CaseSpec spec;
+    spec.algorithm = kind;
+    spec.processes = 16;
+    spec.changes = 4;
+    spec.mean_rounds = 3.0;
+    spec.runs = 20;
+    spec.mode = RunMode::kCascading;
+    spec.base_seed = 424242;
+    spec.measure_wire_sizes = true;
+
+    const CaseResult serial = run_case(spec);
+
+    const std::vector<std::uint64_t> boundaries = {7, 13};
+    const std::vector<CascadeCheckpoint> checkpoints =
+        scout_cascading_case(spec, boundaries);
+    ASSERT_EQ(checkpoints.size(), 2u);
+    EXPECT_EQ(checkpoints[0].first_run, 7u);
+    EXPECT_EQ(checkpoints[1].first_run, 13u);
+
+    CaseResult merged = run_cascading_shard(spec, CascadeCheckpoint{}, 7);
+    merged.merge(run_cascading_shard(spec, checkpoints[0], 6));
+    merged.merge(run_cascading_shard(spec, checkpoints[1], 7));
+
+    EXPECT_EQ(merged.runs, serial.runs);
+    EXPECT_EQ(merged.successes, serial.successes);
+    EXPECT_EQ(merged.success_per_run, serial.success_per_run);
+    EXPECT_EQ(merged.stable.buckets, serial.stable.buckets);
+    EXPECT_EQ(merged.in_progress.buckets, serial.in_progress.buckets);
+    EXPECT_EQ(merged.total_rounds, serial.total_rounds);
+    EXPECT_EQ(merged.total_changes, serial.total_changes);
+    EXPECT_EQ(merged.wire.messages_sent, serial.wire.messages_sent);
+    EXPECT_EQ(merged.wire.max_message_bytes, serial.wire.max_message_bytes);
+    EXPECT_EQ(merged.wire.total_message_bytes,
+              serial.wire.total_message_bytes);
+    EXPECT_EQ(merged.invariant_checks, serial.invariant_checks);
+  }
+}
+
+}  // namespace
+}  // namespace dynvote

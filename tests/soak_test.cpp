@@ -6,9 +6,13 @@
 // set DV_SOAK_CHANGES=1310000 to reproduce the thesis-scale soak.
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <cstdlib>
+#include <memory>
+#include <vector>
 
 #include "sim/driver.hpp"
+#include "sim/snapshot.hpp"
 
 namespace dynvote {
 namespace {
@@ -38,6 +42,44 @@ TEST_P(Soak, MillionsOfChangesNoInconsistency) {
         << " changes";
   }
   EXPECT_GE(sim.total_changes(), total);
+}
+
+// Cascading soak through checkpoints: every N runs the world is serialized,
+// torn down, and rebuilt from the snapshot in a brand-new Simulation.  The
+// checkpointed cascade must report the same run results and -- the soak's
+// currency -- execute exactly as many invariant checks as the baseline that
+// never checkpointed.
+TEST_P(Soak, CheckpointedCascadeMatchesUninterruptedBaseline) {
+  constexpr std::uint64_t kRuns = 30;
+  constexpr std::uint64_t kCheckpointEvery = 5;
+  SimulationConfig config;
+  config.algorithm = GetParam();
+  config.processes = 16;
+  config.changes_per_run = 6;
+  config.mean_rounds_between_changes = 2.0;
+  config.seed = 0x50AC;
+  config.check_invariants = true;
+
+  Simulation baseline(config);
+  std::vector<RunResult> expected;
+  for (std::uint64_t r = 0; r < kRuns; ++r) {
+    expected.push_back(baseline.run_once());
+  }
+
+  auto checkpointed = std::make_unique<Simulation>(config);
+  std::vector<RunResult> actual;
+  for (std::uint64_t r = 0; r < kRuns; ++r) {
+    if (r > 0 && r % kCheckpointEvery == 0) {
+      const std::vector<std::byte> bytes = save_snapshot(*checkpointed);
+      checkpointed = std::make_unique<Simulation>(config);
+      restore_snapshot(*checkpointed, bytes);
+    }
+    actual.push_back(checkpointed->run_once());
+  }
+
+  EXPECT_EQ(actual, expected);
+  EXPECT_EQ(checkpointed->total_changes(), baseline.total_changes());
+  EXPECT_EQ(checkpointed->invariant_checks(), baseline.invariant_checks());
 }
 
 INSTANTIATE_TEST_SUITE_P(AllAlgorithms, Soak,
