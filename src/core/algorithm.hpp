@@ -136,8 +136,10 @@ class PrimaryComponentAlgorithm {
  protected:
   PrimaryComponentAlgorithm(ProcessId self, View initial_view);
 
-  ProcessId self_;
-  View initial_view_;
+  // Constructor configuration: a snapshot is only restored into an instance
+  // built with the same (self, initial view), enforced by the envelope.
+  ProcessId self_;       // dvlint: transient(constructor configuration)
+  View initial_view_;    // dvlint: transient(constructor configuration)
 };
 
 /// Factory: construct an algorithm instance for process `self`, started in

@@ -97,7 +97,7 @@ class Mr1p final : public PrimaryComponentAlgorithm {
   Session view_session() const;
 
   // --- persistent state (thesis §3.2.4) ---
-  Mr1pOptions options_;
+  Mr1pOptions options_;  // dvlint: transient(constructor configuration)
   Session cur_primary_;
   std::optional<Session> pending_;
   std::uint64_t num_ = 0;

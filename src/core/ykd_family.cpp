@@ -270,16 +270,12 @@ void YkdFamilyBase::save(Encoder& enc) const {
   current_view_.encode(enc);
   enc.put_u8(static_cast<std::uint8_t>(stage_));
 
-  // The state map iterates in hash order; write it sorted by process id so
-  // identical algorithm states always produce identical snapshot bytes.
-  std::vector<ProcessId> senders;
-  senders.reserve(states_.size());
-  for (const auto& [q, state] : states_) senders.push_back(q);
-  std::sort(senders.begin(), senders.end());
-  enc.put_varint(senders.size());
-  for (ProcessId q : senders) {
+  // The state map is ordered by process id, so identical algorithm states
+  // always produce identical snapshot bytes.
+  enc.put_varint(states_.size());
+  for (const auto& [q, state] : states_) {
     enc.put_varint(q);
-    encode_staged_payload(enc, *states_.at(q));
+    encode_staged_payload(enc, *state);
   }
 
   attempts_received_.encode(enc);

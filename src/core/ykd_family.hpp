@@ -33,7 +33,7 @@
 #pragma once
 
 #include <deque>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "core/algorithm.hpp"
@@ -68,9 +68,12 @@ class YkdFamilyBase : public PrimaryComponentAlgorithm {
   void load(Decoder& dec) override;
 
  protected:
+  /// Ordered by process id: the combined-knowledge folds and the snapshot
+  /// writer iterate this map, so its traversal order must be deterministic
+  /// across platforms (dvlint's determinism check bans unordered iteration
+  /// in result-affecting paths).
   using StateMap =
-      std::unordered_map<ProcessId,
-                         std::shared_ptr<const StateExchangePayload>>;
+      std::map<ProcessId, std::shared_ptr<const StateExchangePayload>>;
 
   /// How a variant sheds stored ambiguous sessions between formations.
   enum class PruneMode {
@@ -155,8 +158,8 @@ class YkdFamilyBase : public PrimaryComponentAlgorithm {
   void form_primary();
   CombinedKnowledge compute_combined() const;
 
-  PruneMode prune_mode_;
-  bool filter_constraints_;
+  PruneMode prune_mode_;     // dvlint: transient(constructor configuration)
+  bool filter_constraints_;  // dvlint: transient(constructor configuration)
   Stage stage_ = Stage::kIdle;
   StateMap states_;
   ProcessSet attempts_received_;

@@ -138,7 +138,7 @@ class Gcs {
   void deliver(ProcessId recipient, const Message& message, ProcessId sender);
   void record_send(const Message& message);
 
-  GcsOptions options_;
+  GcsOptions options_;  // dvlint: transient(constructor configuration)
   Topology topology_;
   Network network_;
   Rng delivery_rng_{0xDE11u};

@@ -55,7 +55,9 @@ class Topology {
  private:
   void check_disjoint_cover() const;
 
-  std::size_t universe_size_;
+  // Encoded first in the stream; decode() restores it through the
+  // Topology(universe) constructor rather than by field assignment.
+  std::size_t universe_size_;  // dvlint: transient(restored via constructor)
   std::vector<ProcessSet> components_;
 };
 

@@ -1,0 +1,483 @@
+#include "lint/lint.hpp"
+
+#include <algorithm>
+#include <array>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <set>
+#include <span>
+#include <sstream>
+#include <stdexcept>
+
+#include "lint/parse.hpp"
+#include "lint/source.hpp"
+#include "runner/json.hpp"
+
+namespace dynvote::lint {
+
+namespace fs = std::filesystem;
+
+std::string_view to_string(CheckId check) {
+  switch (check) {
+    case CheckId::kSnapshotCompleteness:
+      return "snapshot-completeness";
+    case CheckId::kDeterminism:
+      return "determinism";
+    case CheckId::kLayering:
+      return "layering";
+    case CheckId::kDecodeThrow:
+      return "decode-throw";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+
+constexpr std::array<std::string_view, 4> kSaveSideMethods = {
+    "save", "save_extra", "encode", "encode_body"};
+constexpr std::array<std::string_view, 4> kLoadSideMethods = {
+    "load", "load_extra", "decode", "decode_body"};
+
+/// Directory rank in the include DAG; higher may include lower, never the
+/// reverse.  Unknown directories have no rank and are exempt.
+int layer_rank(std::string_view dir) {
+  if (dir == "util") return 0;
+  if (dir == "core") return 1;
+  if (dir == "gcs") return 2;
+  if (dir == "sim") return 3;
+  if (dir == "runner") return 4;
+  if (dir == "lint") return 5;
+  return -1;
+}
+
+/// Directories whose code feeds simulation results, stats folds, or the
+/// manifest fingerprint -- where determinism hygiene is enforced.
+bool result_affecting(std::string_view dir) {
+  return dir == "core" || dir == "gcs" || dir == "sim" || dir == "runner";
+}
+
+std::string_view top_dir(std::string_view rel_path) {
+  const std::size_t slash = rel_path.find('/');
+  return slash == std::string_view::npos ? std::string_view{}
+                                         : rel_path.substr(0, slash);
+}
+
+bool ignored(const SourceFile& file, std::size_t line, CheckId check) {
+  std::string needle = "ignore(";
+  needle += to_string(check);
+  needle += ')';
+  return file.has_annotation(line, needle);
+}
+
+struct BodyRef {
+  const SourceFile* file = nullptr;
+  MethodBody body;
+};
+
+/// All bodies of `cls`'s method `method`, inline or out-of-line, anywhere
+/// in the scanned tree.
+void collect_bodies(const std::vector<ParsedFile>& files,
+                    const std::string& cls, std::string_view method,
+                    std::vector<BodyRef>& out) {
+  const std::pair<std::string, std::string> key{cls, std::string(method)};
+  for (const ParsedFile& pf : files) {
+    for (const auto* table : {&pf.inline_bodies, &pf.out_of_line}) {
+      const auto it = table->find(key);
+      if (it == table->end()) continue;
+      for (const MethodBody& b : it->second) {
+        out.push_back(BodyRef{pf.source, b});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Check 1: snapshot completeness
+
+void check_snapshot_completeness(const std::vector<ParsedFile>& files,
+                                 std::vector<Finding>& findings) {
+  for (const ParsedFile& pf : files) {
+    for (const ClassDecl& cls : pf.classes) {
+      if (cls.fields.empty()) continue;
+
+      struct Side {
+        std::string_view label;
+        std::span<const std::string_view> methods;
+        std::vector<BodyRef> bodies;
+        std::set<std::string_view> idents;
+      };
+      Side sides[2] = {
+          {"save path (save/encode)", kSaveSideMethods, {}, {}},
+          {"load path (load/decode)", kLoadSideMethods, {}, {}},
+      };
+      for (Side& side : sides) {
+        for (std::string_view m : side.methods) {
+          collect_bodies(files, cls.name, m, side.bodies);
+        }
+        for (const BodyRef& ref : side.bodies) {
+          const std::string_view body =
+              std::string_view(ref.file->code)
+                  .substr(ref.body.begin, ref.body.end - ref.body.begin);
+          for (const Token& t : tokenize(body)) {
+            if (t.is_ident()) side.idents.insert(t.text);
+          }
+        }
+      }
+      if (sides[0].bodies.empty() && sides[1].bodies.empty()) continue;
+
+      for (const FieldDecl& field : cls.fields) {
+        if (pf.source->has_annotation(field.line, "transient")) continue;
+        if (ignored(*pf.source, field.line, CheckId::kSnapshotCompleteness)) {
+          continue;
+        }
+        for (const Side& side : sides) {
+          if (side.bodies.empty()) continue;
+          if (side.idents.count(field.name) > 0) continue;
+          Finding f;
+          f.check = CheckId::kSnapshotCompleteness;
+          f.file = pf.source->rel_path;
+          f.line = field.line;
+          f.detail = field.name;
+          f.message = "class " + cls.name + ": field '" + field.name +
+                      "' is never referenced by the " + std::string(side.label) +
+                      "; serialize it or annotate it '// dvlint: "
+                      "transient(reason)'";
+          findings.push_back(std::move(f));
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Check 4 (rides on the same machinery): decode paths must throw DecodeError
+
+void check_decode_throw(const std::vector<ParsedFile>& files,
+                        std::vector<Finding>& findings) {
+  for (const ParsedFile& pf : files) {
+    for (const ClassDecl& cls : pf.classes) {
+      std::vector<BodyRef> bodies;
+      for (std::string_view m : kLoadSideMethods) {
+        collect_bodies(files, cls.name, m, bodies);
+      }
+      for (const BodyRef& ref : bodies) {
+        const std::string_view body =
+            std::string_view(ref.file->code)
+                .substr(ref.body.begin, ref.body.end - ref.body.begin);
+        for (const Token& t : tokenize(body)) {
+          if (t.text != "DV_ASSERT" && t.text != "DV_REQUIRE") continue;
+          const std::size_t line = ref.file->line_of(ref.body.begin + t.offset);
+          if (ignored(*ref.file, line, CheckId::kDecodeThrow)) continue;
+          Finding f;
+          f.check = CheckId::kDecodeThrow;
+          f.file = ref.file->rel_path;
+          f.line = line;
+          f.detail = std::string(t.text);
+          f.message = "class " + cls.name + ": snapshot decode path uses " +
+                      std::string(t.text) +
+                      "; malformed bytes are input errors -- throw "
+                      "DecodeError instead";
+          findings.push_back(std::move(f));
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Check 2: determinism hygiene
+
+constexpr std::array<std::string_view, 9> kRandomnessTokens = {
+    "rand",         "srand",
+    "drand48",      "random_device",
+    "mt19937",      "mt19937_64",
+    "minstd_rand",  "default_random_engine",
+    "random_shuffle"};
+
+constexpr std::array<std::string_view, 4> kWallClockTokens = {
+    "system_clock", "gettimeofday", "localtime", "strftime"};
+
+constexpr std::array<std::string_view, 6> kOrderedByKey = {
+    "map", "set", "multimap", "multiset", "unordered_map", "unordered_set"};
+
+void check_determinism(const std::vector<ParsedFile>& files,
+                       std::vector<Finding>& findings) {
+  // Unordered container names are collected repo-wide: a member declared in
+  // a header is iterated from the implementation file.
+  std::set<std::string> unordered;
+  for (const ParsedFile& pf : files) {
+    unordered.insert(pf.unordered_names.begin(), pf.unordered_names.end());
+    for (const ClassDecl& cls : pf.classes) {
+      for (const FieldDecl& field : cls.fields) {
+        if (field.unordered) unordered.insert(field.name);
+      }
+    }
+  }
+
+  for (const ParsedFile& pf : files) {
+    if (!result_affecting(top_dir(pf.source->rel_path))) continue;
+    const SourceFile& src = *pf.source;
+    const std::vector<Token> tokens = tokenize(src.code);
+
+    auto flag = [&](std::size_t offset, std::string detail,
+                    std::string message) {
+      const std::size_t line = src.line_of(offset);
+      if (ignored(src, line, CheckId::kDeterminism)) return;
+      Finding f;
+      f.check = CheckId::kDeterminism;
+      f.file = src.rel_path;
+      f.line = line;
+      f.detail = std::move(detail);
+      f.message = std::move(message);
+      findings.push_back(std::move(f));
+    };
+
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      const std::string_view t = tokens[i].text;
+      const bool called =
+          i + 1 < tokens.size() && tokens[i + 1].text == "(";
+      // `x.time(...)` / `x->clock(...)` are member calls, not libc.
+      const bool member_access = i > 0 && (tokens[i - 1].text == "." ||
+                                           (tokens[i - 1].text == ">" &&
+                                            i > 1 && tokens[i - 2].text == "-"));
+
+      if (std::find(kRandomnessTokens.begin(), kRandomnessTokens.end(), t) !=
+              kRandomnessTokens.end() &&
+          !member_access) {
+        flag(tokens[i].offset, std::string(t),
+             "unseeded/non-portable randomness '" + std::string(t) +
+                 "' in a result-affecting path; draw from util/rng.hpp "
+                 "(seeded, cross-platform) instead");
+        continue;
+      }
+      if (std::find(kWallClockTokens.begin(), kWallClockTokens.end(), t) !=
+              kWallClockTokens.end() ||
+          ((t == "time" || t == "clock") && called && !member_access)) {
+        flag(tokens[i].offset, std::string(t),
+             "wall-clock read '" + std::string(t) +
+                 "' in a result-affecting path; results must be a pure "
+                 "function of the seed");
+        continue;
+      }
+      // Pointer-keyed ordering: std::map/set & friends keyed on a pointer
+      // type order by address, which varies run to run.
+      if (std::find(kOrderedByKey.begin(), kOrderedByKey.end(), t) !=
+              kOrderedByKey.end() &&
+          i > 0 && tokens[i - 1].text == "::" && i + 1 < tokens.size() &&
+          tokens[i + 1].text == "<") {
+        int angle = 0;
+        for (std::size_t j = i + 1; j < tokens.size(); ++j) {
+          const std::string_view u = tokens[j].text;
+          if (u == "<") ++angle;
+          if (u == ">" && --angle == 0) break;
+          if (u == "," && angle == 1) break;  // end of the key type
+          if (u == "*" && angle >= 1) {
+            flag(tokens[i].offset, std::string(t),
+                 "pointer-keyed std::" + std::string(t) +
+                     " orders by address, which varies across runs; key on "
+                     "a stable id instead");
+            break;
+          }
+        }
+        continue;
+      }
+    }
+
+    for (const RangeFor& rf : pf.range_fors) {
+      if (unordered.count(rf.container) == 0) continue;
+      if (src.has_annotation(rf.line, "unordered-ok")) continue;
+      if (ignored(src, rf.line, CheckId::kDeterminism)) continue;
+      Finding f;
+      f.check = CheckId::kDeterminism;
+      f.file = src.rel_path;
+      f.line = rf.line;
+      f.detail = rf.container;
+      f.message =
+          "iteration over unordered container '" + rf.container +
+          "' in a result-affecting path visits elements in hash order; use "
+          "an ordered container or sort first (annotate '// dvlint: "
+          "unordered-ok' only for provably order-insensitive folds)";
+      findings.push_back(std::move(f));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Check 3: include layering
+
+void check_layering(const std::vector<ParsedFile>& files,
+                    std::vector<Finding>& findings) {
+  for (const ParsedFile& pf : files) {
+    const SourceFile& src = *pf.source;
+    const int from_rank = layer_rank(top_dir(src.rel_path));
+    for (const IncludeDirective& inc : pf.includes) {
+      const std::string_view inc_dir = top_dir(inc.path);
+      if (ignored(src, inc.line, CheckId::kLayering)) continue;
+
+      if (inc_dir == "bench" || inc_dir == "tests" || inc_dir == "examples") {
+        Finding f;
+        f.check = CheckId::kLayering;
+        f.file = src.rel_path;
+        f.line = inc.line;
+        f.detail = inc.path;
+        f.message = "library code must not include " + std::string(inc_dir) +
+                    "/ (\"" + inc.path + "\")";
+        findings.push_back(std::move(f));
+        continue;
+      }
+      const int to_rank = layer_rank(inc_dir);
+      if (from_rank < 0 || to_rank < 0) continue;
+      if (to_rank <= from_rank) continue;
+      Finding f;
+      f.check = CheckId::kLayering;
+      f.file = src.rel_path;
+      f.line = inc.line;
+      f.detail = inc.path;
+      f.message = "include of \"" + inc.path + "\" climbs the layer DAG (" +
+                  std::string(top_dir(src.rel_path)) + " may not depend on " +
+                  std::string(inc_dir) +
+                  "; order is util < core < gcs < sim < runner < lint)";
+      findings.push_back(std::move(f));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+bool suppressed_by(const Finding& f, const Suppression& s) {
+  if (s.check != "*" && s.check != to_string(f.check)) return false;
+  if (s.line != 0 && s.line != f.line) return false;
+  if (f.file.size() < s.path_suffix.size()) return false;
+  return f.file.compare(f.file.size() - s.path_suffix.size(),
+                        s.path_suffix.size(), s.path_suffix) == 0;
+}
+
+}  // namespace
+
+std::vector<Suppression> load_suppressions(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("dvlint: cannot read suppressions " + path);
+  std::vector<Suppression> out;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream fields(line);
+    Suppression s;
+    std::string target;
+    if (!(fields >> s.check >> target)) {
+      throw std::runtime_error("dvlint: malformed suppression at " + path +
+                               ":" + std::to_string(lineno));
+    }
+    if (const std::size_t colon = target.rfind(':');
+        colon != std::string::npos &&
+        target.find_first_not_of("0123456789", colon + 1) == std::string::npos &&
+        colon + 1 < target.size()) {
+      s.line = static_cast<std::size_t>(
+          std::stoull(target.substr(colon + 1)));
+      target.resize(colon);
+    }
+    s.path_suffix = std::move(target);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+LintReport run_lint(const LintOptions& options) {
+  const fs::path root(options.root);
+  if (!fs::is_directory(root)) {
+    throw std::runtime_error("dvlint: root is not a directory: " +
+                             options.root);
+  }
+
+  std::vector<std::string> rel_paths;
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext != ".hpp" && ext != ".cpp" && ext != ".h" && ext != ".cc") {
+      continue;
+    }
+    rel_paths.push_back(
+        fs::relative(entry.path(), root).generic_string());
+  }
+  std::sort(rel_paths.begin(), rel_paths.end());
+
+  std::vector<std::unique_ptr<SourceFile>> sources;
+  sources.reserve(rel_paths.size());
+  std::vector<ParsedFile> parsed;
+  parsed.reserve(rel_paths.size());
+  for (const std::string& rel : rel_paths) {
+    sources.push_back(std::make_unique<SourceFile>(
+        load_source((root / rel).string(), rel)));
+    parsed.push_back(parse_file(*sources.back()));
+  }
+
+  std::vector<Finding> findings;
+  check_snapshot_completeness(parsed, findings);
+  check_determinism(parsed, findings);
+  check_layering(parsed, findings);
+  check_decode_throw(parsed, findings);
+
+  LintReport report;
+  report.files_scanned = parsed.size();
+  for (Finding& f : findings) {
+    const bool drop = std::any_of(
+        options.suppressions.begin(), options.suppressions.end(),
+        [&](const Suppression& s) { return suppressed_by(f, s); });
+    if (drop) {
+      ++report.suppressed;
+    } else {
+      report.findings.push_back(std::move(f));
+    }
+  }
+  std::sort(report.findings.begin(), report.findings.end());
+  report.findings.erase(
+      std::unique(report.findings.begin(), report.findings.end()),
+      report.findings.end());
+  return report;
+}
+
+std::string render_text(const LintReport& report) {
+  std::ostringstream os;
+  for (const Finding& f : report.findings) {
+    os << f.file << ':' << f.line << ": [" << to_string(f.check) << "] "
+       << f.message << '\n';
+  }
+  os << "dvlint: " << report.findings.size() << " finding"
+     << (report.findings.size() == 1 ? "" : "s") << ", " << report.suppressed
+     << " suppressed, " << report.files_scanned << " files scanned\n";
+  return std::move(os).str();
+}
+
+std::string render_json(const LintReport& report, const std::string& root) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("schema").value("dynvote.dvlint.v1");
+  json.key("root").value(root);
+  json.key("files_scanned").value(static_cast<std::uint64_t>(
+      report.files_scanned));
+  json.key("clean").value(report.findings.empty());
+  json.key("suppressed").value(static_cast<std::uint64_t>(report.suppressed));
+  json.key("findings").begin_array();
+  for (const Finding& f : report.findings) {
+    json.begin_object();
+    json.key("check").value(to_string(f.check));
+    json.key("file").value(f.file);
+    json.key("line").value(static_cast<std::uint64_t>(f.line));
+    json.key("detail").value(f.detail);
+    json.key("message").value(f.message);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str() + "\n";
+}
+
+}  // namespace dynvote::lint

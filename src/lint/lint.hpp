@@ -1,0 +1,106 @@
+// dvlint: a repo-aware static checker for the dynvote codebase.
+//
+// The sharded-sweep design rests on two invariants nothing in the compiler
+// enforces: snapshots must be *complete* (every mutable field of every
+// save/load class round-trips) and simulation results must be
+// *bit-deterministic* (no unseeded randomness, no wall-clock input, no
+// hash-order iteration feeding stats or fingerprints).  dvlint checks both
+// statically -- plus the include-layering DAG -- with a lightweight lexer
+// over the repo's own sources; no libclang, no build required.
+//
+// Defect classes (check ids):
+//   snapshot-completeness  a class with save/load (or encode/decode,
+//                          save_extra/load_extra, encode_body/decode_body)
+//                          has a declared member field that the save-side
+//                          or load-side bodies never reference.  Opt-out:
+//                          annotate the field `// dvlint: transient(why)`.
+//   determinism            unseeded randomness (rand, srand, drand48,
+//                          random_device), wall-clock reads (time(),
+//                          system_clock, gettimeofday, localtime),
+//                          pointer-keyed ordered containers, or range-for
+//                          iteration over an unordered_map/unordered_set in
+//                          result-affecting directories (core, gcs, sim,
+//                          runner).  Opt-out: `// dvlint: unordered-ok` for
+//                          provably order-insensitive folds.
+//   layering               an include that climbs the DAG
+//                          (util < core < gcs < sim < runner < lint); e.g.
+//                          core including sim, sim including runner, or
+//                          anything in src including bench.
+//   decode-throw           a load-side body (load, load_extra, decode,
+//                          decode_body) uses DV_ASSERT/DV_REQUIRE instead
+//                          of throwing DecodeError: malformed snapshot
+//                          bytes are input errors, never assertions.
+//
+// Any finding can also be silenced with `// dvlint: ignore(<check-id>)` on
+// (or immediately above) the offending line, or via a suppression file of
+// `<check-id> <path-suffix>[:<line>]` lines.  Output is deterministic:
+// findings sort by (file, line, check, detail) so CI diffs are stable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dynvote::lint {
+
+enum class CheckId {
+  kSnapshotCompleteness,
+  kDeterminism,
+  kLayering,
+  kDecodeThrow,
+};
+
+/// Stable kebab-case name used in output, annotations and suppressions.
+std::string_view to_string(CheckId check);
+
+struct Finding {
+  CheckId check = CheckId::kSnapshotCompleteness;
+  /// Path relative to the scanned root, forward slashes.
+  std::string file;
+  std::size_t line = 0;
+  /// The specific entity at fault (field name, include path, token).
+  std::string detail;
+  std::string message;
+
+  friend bool operator<(const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    if (a.check != b.check) return a.check < b.check;
+    return a.detail < b.detail;
+  }
+  friend bool operator==(const Finding& a, const Finding& b) = default;
+};
+
+struct Suppression {
+  std::string check;  // check id name, or "*" for any
+  std::string path_suffix;
+  /// 0 = any line.
+  std::size_t line = 0;
+};
+
+struct LintOptions {
+  /// Directory scanned recursively for .hpp/.cpp files.
+  std::string root;
+  std::vector<Suppression> suppressions;
+};
+
+struct LintReport {
+  std::vector<Finding> findings;   // sorted, post-suppression
+  std::size_t files_scanned = 0;
+  std::size_t suppressed = 0;
+};
+
+/// Parse a suppression file (`# comments`, `<check> <suffix>[:line]`).
+/// Throws std::runtime_error on unreadable files or malformed lines.
+std::vector<Suppression> load_suppressions(const std::string& path);
+
+/// Run every check over `options.root`.  Throws std::runtime_error when the
+/// root does not exist or a source file cannot be read.
+LintReport run_lint(const LintOptions& options);
+
+/// Human-readable rendering, one line per finding plus a summary line.
+std::string render_text(const LintReport& report);
+
+/// Machine-readable rendering (schema "dynvote.dvlint.v1").
+std::string render_json(const LintReport& report, const std::string& root);
+
+}  // namespace dynvote::lint

@@ -120,8 +120,11 @@ std::string manifest_json(const SweepSpec& spec, const SweepResult& result) {
   json.begin_object();
   json.key("schema").value(kSweepManifestSchema);
   json.key("sweep").value(spec.name);
-  json.key("created_unix").value(
-      static_cast<std::int64_t>(std::time(nullptr)));
+  // Manifest metadata only: excluded from results_fingerprint, so the
+  // wall clock cannot leak into anything a rerun is compared against.
+  json.key("created_unix")
+      .value(static_cast<std::int64_t>(
+          std::time(nullptr)));  // dvlint: ignore(determinism)
   json.key("git_describe").value(DV_GIT_DESCRIBE);
   json.key("jobs").value(static_cast<std::uint64_t>(result.jobs));
   json.key("wall_seconds").value(result.wall_seconds);

@@ -135,7 +135,8 @@ class Simulation {
   /// Execute one event; returns true when it completed the active run.
   bool step_event();
 
-  SimulationConfig config_;
+  // Pinned by the snapshot envelope's config trajectory hash, not written.
+  SimulationConfig config_;  // dvlint: transient(constructor configuration)
   Gcs gcs_;
   FaultScheduler scheduler_;
   InvariantChecker checker_;

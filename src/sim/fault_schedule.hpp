@@ -86,8 +86,8 @@ class FaultScheduler {
                                               const ProcessSet& crashed);
 
   Rng rng_;
-  double p_;
-  double crash_fraction_;
+  double p_;               // dvlint: transient(derived from constructor args)
+  double crash_fraction_;  // dvlint: transient(derived from constructor args)
 };
 
 }  // namespace dynvote

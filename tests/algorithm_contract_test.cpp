@@ -126,8 +126,8 @@ TEST_P(AlgorithmContract, DebugInfoIsCoherent) {
 
 INSTANTIATE_TEST_SUITE_P(AllAlgorithms, AlgorithmContract,
                          ::testing::ValuesIn(all_algorithm_kinds()),
-                         [](const ::testing::TestParamInfo<AlgorithmKind>& info) {
-                           std::string name(to_string(info.param));
+                         [](const ::testing::TestParamInfo<AlgorithmKind>& p) {
+                           std::string name(to_string(p.param));
                            for (char& c : name) {
                              if (c == '-') c = '_';
                            }

@@ -1,0 +1,31 @@
+// Fixture: a fully compliant snapshot class.  Every persistent field is
+// referenced by both the save and the load body; the one derived field
+// carries a transient annotation.  dvlint must report nothing here.
+#pragma once
+
+#include <cstdint>
+
+#include "util/codec.hpp"
+
+namespace fixture {
+
+class Counter {
+ public:
+  void save(Encoder& enc) const {
+    enc.put_varint(total_);
+    enc.put_varint(limit_);
+  }
+
+  void load(Decoder& dec) {
+    total_ = dec.get_varint();
+    limit_ = dec.get_varint();
+    cache_ = 0;
+  }
+
+ private:
+  std::uint64_t total_ = 0;
+  std::uint64_t limit_ = 0;
+  std::uint64_t cache_ = 0;  // dvlint: transient(recomputed lazily)
+};
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Fixture: legitimate uses of otherwise-flagged constructs, silenced with
+// the documented annotations.  dvlint must report nothing here.
+#include <ctime>
+#include <unordered_map>
+
+namespace fixture {
+
+// Addition commutes, so hash-order traversal cannot change the result.
+double total_weight(const std::unordered_map<int, double>& weights) {
+  double total = 0.0;
+  for (const auto& [id, w] : weights) {  // dvlint: unordered-ok
+    total += w;
+  }
+  return total;
+}
+
+// Diagnostic timestamp only; never folded into simulation results.
+long log_stamp() {
+  return static_cast<long>(time(nullptr));  // dvlint: ignore(determinism)
+}
+
+}  // namespace fixture

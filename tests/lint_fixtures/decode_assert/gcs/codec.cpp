@@ -1,0 +1,21 @@
+// Fixture: a snapshot decode path that asserts on malformed input instead
+// of throwing DecodeError.  Corrupted bytes are an input error, so dvlint
+// must flag the DV_ASSERT inside load().
+#include <cstdint>
+
+namespace fixture {
+
+class Codec {
+ public:
+  void load(Decoder& dec);
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+void Codec::load(Decoder& dec) {
+  DV_ASSERT(dec.bytes_remaining() >= 8);
+  value_ = dec.get_varint();
+}
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Fixture: include-layering violations.  core/ sits below sim/ in the DAG,
+// and nothing in the library may include bench/.  The util/ include is the
+// only legal one.
+#pragma once
+
+#include "bench/harness.hpp"
+#include "sim/driver.hpp"
+#include "util/rng.hpp"
+
+namespace fixture {
+
+class Engine {};
+
+}  // namespace fixture

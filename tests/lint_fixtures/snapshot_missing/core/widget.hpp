@@ -1,0 +1,20 @@
+// Fixture: a snapshot class with an unserialized mutable field.
+// `high_water_` is neither written by save() nor restored by load() and has
+// no transient annotation, so dvlint must flag it on both sides.
+#pragma once
+
+#include <cstdint>
+
+namespace fixture {
+
+class Widget {
+ public:
+  void save(Encoder& enc) const { enc.put_varint(count_); }
+  void load(Decoder& dec) { count_ = dec.get_varint(); }
+
+ private:
+  std::uint64_t count_ = 0;
+  std::uint64_t high_water_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// Fixture: the snapshot_missing defect again, but the sibling
+// suppressions.txt silences it.  With that file loaded, dvlint must report
+// zero findings and two suppressions.
+#pragma once
+
+#include <cstdint>
+
+namespace fixture {
+
+class Widget {
+ public:
+  void save(Encoder& enc) const { enc.put_varint(count_); }
+  void load(Decoder& dec) { count_ = dec.get_varint(); }
+
+ private:
+  std::uint64_t count_ = 0;
+  std::uint64_t high_water_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,169 @@
+// dvlint against its fixture corpus: every defect class must be caught at
+// the expected location, every documented opt-out must be honored, the JSON
+// report must parse, and -- the regression that keeps the tool honest -- the
+// live src/ tree must be clean.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+#include "runner/json.hpp"
+
+namespace dynvote::lint {
+namespace {
+
+std::string fixture_root(const std::string& name) {
+  return std::string(DV_SOURCE_ROOT) + "/tests/lint_fixtures/" + name;
+}
+
+LintReport lint_fixture(const std::string& name,
+                        std::vector<Suppression> suppressions = {}) {
+  LintOptions options;
+  options.root = fixture_root(name);
+  options.suppressions = std::move(suppressions);
+  return run_lint(options);
+}
+
+std::vector<std::string> details_of(const LintReport& report, CheckId check) {
+  std::vector<std::string> out;
+  for (const Finding& f : report.findings) {
+    if (f.check == check) out.push_back(f.detail);
+  }
+  return out;
+}
+
+TEST(LintFixtures, CleanCorpusProducesNoFindings) {
+  const LintReport report = lint_fixture("clean");
+  EXPECT_EQ(report.files_scanned, 2u);
+  EXPECT_TRUE(report.findings.empty()) << render_text(report);
+  EXPECT_EQ(report.suppressed, 0u);
+}
+
+TEST(LintFixtures, MissingSnapshotFieldFlaggedOnBothSides) {
+  const LintReport report = lint_fixture("snapshot_missing");
+  ASSERT_EQ(report.findings.size(), 2u) << render_text(report);
+  for (const Finding& f : report.findings) {
+    EXPECT_EQ(f.check, CheckId::kSnapshotCompleteness);
+    EXPECT_EQ(f.file, "core/widget.hpp");
+    EXPECT_EQ(f.detail, "high_water_");
+    EXPECT_NE(f.line, 0u);
+  }
+  // One finding per side, distinguished by the message.
+  EXPECT_NE(report.findings[0].message, report.findings[1].message);
+}
+
+TEST(LintFixtures, EveryDeterminismHazardCaught) {
+  const LintReport report = lint_fixture("determinism");
+  const std::vector<std::string> details =
+      details_of(report, CheckId::kDeterminism);
+  ASSERT_EQ(report.findings.size(), details.size()) << render_text(report);
+  const auto has = [&](const std::string& d) {
+    return std::count(details.begin(), details.end(), d) == 1;
+  };
+  EXPECT_TRUE(has("rand")) << render_text(report);     // unseeded randomness
+  EXPECT_TRUE(has("time")) << render_text(report);     // wall clock
+  EXPECT_TRUE(has("map")) << render_text(report);      // pointer-keyed map
+  EXPECT_TRUE(has("samples")) << render_text(report);  // unordered range-for
+  EXPECT_EQ(details.size(), 4u) << render_text(report);
+}
+
+TEST(LintFixtures, LayeringViolationsCaught) {
+  const LintReport report = lint_fixture("layering");
+  const std::vector<std::string> details =
+      details_of(report, CheckId::kLayering);
+  ASSERT_EQ(report.findings.size(), details.size()) << render_text(report);
+  ASSERT_EQ(details.size(), 2u) << render_text(report);
+  // Sorted by line: bench/ include first, then the DAG climb.
+  EXPECT_EQ(details[0], "bench/harness.hpp");
+  EXPECT_EQ(details[1], "sim/driver.hpp");
+}
+
+TEST(LintFixtures, DecodePathAssertCaught) {
+  const LintReport report = lint_fixture("decode_assert");
+  ASSERT_EQ(report.findings.size(), 1u) << render_text(report);
+  const Finding& f = report.findings[0];
+  EXPECT_EQ(f.check, CheckId::kDecodeThrow);
+  EXPECT_EQ(f.file, "gcs/codec.cpp");
+  EXPECT_EQ(f.detail, "DV_ASSERT");
+  EXPECT_NE(f.message.find("DecodeError"), std::string::npos);
+}
+
+TEST(LintFixtures, SuppressionFileSilencesKnownFindings) {
+  const std::vector<Suppression> suppressions =
+      load_suppressions(fixture_root("suppressed") + "/suppressions.txt");
+  ASSERT_EQ(suppressions.size(), 1u);
+  EXPECT_EQ(suppressions[0].check, "snapshot-completeness");
+  EXPECT_EQ(suppressions[0].path_suffix, "core/widget.hpp");
+  EXPECT_EQ(suppressions[0].line, 0u);
+
+  const LintReport report = lint_fixture("suppressed", suppressions);
+  EXPECT_TRUE(report.findings.empty()) << render_text(report);
+  EXPECT_EQ(report.suppressed, 2u);
+}
+
+TEST(LintFixtures, SuppressionForOtherCheckDoesNotApply) {
+  const LintReport report =
+      lint_fixture("suppressed", {{"determinism", "core/widget.hpp", 0}});
+  EXPECT_EQ(report.findings.size(), 2u) << render_text(report);
+  EXPECT_EQ(report.suppressed, 0u);
+}
+
+TEST(LintFixtures, WildcardSuppressionAppliesToAnyCheck) {
+  const LintReport report =
+      lint_fixture("suppressed", {{"*", "widget.hpp", 0}});
+  EXPECT_TRUE(report.findings.empty()) << render_text(report);
+  EXPECT_EQ(report.suppressed, 2u);
+}
+
+TEST(LintFixtures, FindingsAreSortedAndUnique) {
+  const LintReport report = lint_fixture("determinism");
+  EXPECT_TRUE(
+      std::is_sorted(report.findings.begin(), report.findings.end()));
+  EXPECT_EQ(std::adjacent_find(report.findings.begin(),
+                               report.findings.end()),
+            report.findings.end());
+}
+
+TEST(LintFixtures, JsonReportIsValidAndCarriesFindings) {
+  const LintReport dirty = lint_fixture("snapshot_missing");
+  const std::string json = render_json(dirty, "snapshot_missing");
+  EXPECT_TRUE(json_is_valid(json)) << json;
+  EXPECT_NE(json.find("\"schema\":\"dynvote.dvlint.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"clean\":false"), std::string::npos);
+  EXPECT_NE(json.find("high_water_"), std::string::npos);
+
+  const std::string clean_json =
+      render_json(lint_fixture("clean"), "clean");
+  EXPECT_TRUE(json_is_valid(clean_json)) << clean_json;
+  EXPECT_NE(clean_json.find("\"clean\":true"), std::string::npos);
+}
+
+TEST(LintFixtures, RenderTextSummarizesCounts) {
+  const std::string text = render_text(lint_fixture("snapshot_missing"));
+  EXPECT_NE(text.find("core/widget.hpp:"), std::string::npos);
+  EXPECT_NE(text.find("2 findings"), std::string::npos);
+}
+
+TEST(LintFixtures, UnreadableRootThrows) {
+  LintOptions options;
+  options.root = fixture_root("no_such_fixture");
+  EXPECT_THROW(run_lint(options), std::runtime_error);
+  EXPECT_THROW(load_suppressions(fixture_root("no_such_file.txt")),
+               std::runtime_error);
+}
+
+// The teeth: the shipped source tree itself stays dvlint-clean, so any
+// future snapshot straggler, hash-order fold or layering break fails CI
+// through this test even before the dedicated CI job runs.
+TEST(LintLiveTree, SrcIsClean) {
+  LintOptions options;
+  options.root = std::string(DV_SOURCE_ROOT) + "/src";
+  const LintReport report = run_lint(options);
+  EXPECT_GE(report.files_scanned, 60u);
+  EXPECT_TRUE(report.findings.empty()) << render_text(report);
+}
+
+}  // namespace
+}  // namespace dynvote::lint

@@ -116,7 +116,9 @@ TEST(ProcessSet, CompareIsATotalOrder) {
                                      ProcessSet(8, {0, 7}), ProcessSet(8)};
   for (const auto& x : sets) {
     for (const auto& y : sets) {
-      if (x.compare(y) == 0) EXPECT_EQ(x, y);
+      if (x.compare(y) == 0) {
+        EXPECT_EQ(x, y);
+      }
     }
   }
 }

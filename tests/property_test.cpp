@@ -90,12 +90,12 @@ INSTANTIATE_TEST_SUITE_P(
     AllAlgorithmsManySeeds, AlgorithmProperties,
     ::testing::Combine(::testing::ValuesIn(all_algorithm_kinds()),
                        ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u)),
-    [](const ::testing::TestParamInfo<PropertyParam>& info) {
-      std::string name(to_string(std::get<0>(info.param)));
+    [](const ::testing::TestParamInfo<PropertyParam>& p) {
+      std::string name(to_string(std::get<0>(p.param)));
       for (char& c : name) {
         if (c == '-') c = '_';
       }
-      return name + "_seed" + std::to_string(std::get<1>(info.param));
+      return name + "_seed" + std::to_string(std::get<1>(p.param));
     });
 
 // YKD-specific cross-algorithm property at larger scale: the unoptimized

@@ -37,8 +37,8 @@ TEST_P(WireFidelity, SerializedTransportIsBehaviorallyIdentical) {
 
 INSTANTIATE_TEST_SUITE_P(AllAlgorithms, WireFidelity,
                          ::testing::ValuesIn(all_algorithm_kinds()),
-                         [](const ::testing::TestParamInfo<AlgorithmKind>& info) {
-                           std::string name(to_string(info.param));
+                         [](const ::testing::TestParamInfo<AlgorithmKind>& p) {
+                           std::string name(to_string(p.param));
                            for (char& c : name) {
                              if (c == '-') c = '_';
                            }

@@ -1,0 +1,84 @@
+// dvlint CLI: run the repo-aware static checks over a source tree.
+//
+//   dvlint [--json] [--suppress FILE] [--out FILE] ROOT
+//
+// ROOT is the directory to scan recursively (typically the repo's src/).
+// Exit codes are deterministic so CI can gate on them:
+//   0  clean (no findings after suppressions)
+//   1  findings reported
+//   2  usage or I/O error
+// There is deliberately no --fix: every finding is either a real defect or
+// carries an explicit in-source annotation, so the tree itself is always
+// the single source of truth.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "lint/lint.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--json] [--suppress FILE] [--out FILE] ROOT\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  std::string suppress_path;
+  std::string out_path;
+  std::string root;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--suppress") {
+      if (++i >= argc) return usage(argv[0]);
+      suppress_path = argv[i];
+    } else if (arg == "--out") {
+      if (++i >= argc) return usage(argv[0]);
+      out_path = argv[i];
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else if (root.empty()) {
+      root = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (root.empty()) return usage(argv[0]);
+
+  try {
+    dynvote::lint::LintOptions options;
+    options.root = root;
+    if (!suppress_path.empty()) {
+      options.suppressions = dynvote::lint::load_suppressions(suppress_path);
+    }
+    const dynvote::lint::LintReport report = dynvote::lint::run_lint(options);
+    const std::string rendered =
+        json ? dynvote::lint::render_json(report, root)
+             : dynvote::lint::render_text(report);
+    if (out_path.empty()) {
+      std::cout << rendered;
+    } else {
+      std::ofstream out(out_path, std::ios::binary);
+      if (!out) {
+        std::cerr << "dvlint: cannot write " << out_path << "\n";
+        return 2;
+      }
+      out << rendered;
+    }
+    return report.findings.empty() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+}
