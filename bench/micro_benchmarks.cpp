@@ -1,11 +1,26 @@
 // google-benchmark microbenchmarks: the per-operation costs underneath the
 // simulation -- codec throughput, quorum math, a full protocol round, and
 // whole simulated runs per algorithm (the unit of the availability study).
+//
+// Instead of BENCHMARK_MAIN(), a custom main records every run and writes
+// a "dynvote.microbench.v1" manifest (MICRO_bench.json) next to the sweep
+// manifests, so per-operation timings ride the same artifact pipeline and
+// tools/bench_diff can compare them across commits.
 #include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <ctime>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "core/payload.hpp"
 #include "core/quorum.hpp"
+#include "runner/artifact.hpp"
+#include "runner/json.hpp"
 #include "sim/driver.hpp"
+#include "util/alloc_stats.hpp"
 #include "util/rng.hpp"
 
 namespace dynvote {
@@ -61,13 +76,22 @@ BENCHMARK(BM_Subquorum);
 void BM_ProtocolRound(benchmark::State& state) {
   // One full state-exchange round at 64 processes: partition, then measure
   // the dominant round (everyone's state delivered to everyone).
+  std::uint64_t allocs = 0;
+  std::uint64_t rounds = 0;
   for (auto _ : state) {
     state.PauseTiming();
     Gcs gcs(AlgorithmKind::kYkd, 64);
     gcs.apply_partition(0, ProcessSet(64, {60, 61, 62, 63}));
     gcs.step_round();  // states queued
     state.ResumeTiming();
+    const std::uint64_t before = thread_allocations();
     gcs.step_round();  // 64x64 deliveries + decisions
+    allocs += thread_allocations() - before;
+    ++rounds;
+  }
+  if (alloc_hook_linked() && rounds > 0) {
+    state.counters["allocs_per_round"] =
+        static_cast<double>(allocs) / static_cast<double>(rounds);
   }
 }
 BENCHMARK(BM_ProtocolRound)->Unit(benchmark::kMicrosecond);
@@ -110,7 +134,89 @@ void BM_FullRunNoInvariantChecks(benchmark::State& state) {
 }
 BENCHMARK(BM_FullRunNoInvariantChecks)->Unit(benchmark::kMillisecond);
 
+/// Collects every iteration-level run while still printing the normal
+/// console table, so one pass feeds both the terminal and the manifest.
+class ManifestCollector : public benchmark::ConsoleReporter {
+ public:
+  struct Entry {
+    std::string name;
+    std::int64_t iterations = 0;
+    double real_ns = 0.0;  // per-iteration wall time
+    double cpu_ns = 0.0;   // per-iteration CPU time
+    std::vector<std::pair<std::string, double>> counters;
+  };
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ protected:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      Entry entry;
+      entry.name = run.benchmark_name();
+      entry.iterations = run.iterations;
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      // Accumulated times are in seconds regardless of the display unit.
+      entry.real_ns = run.real_accumulated_time / iters * 1e9;
+      entry.cpu_ns = run.cpu_accumulated_time / iters * 1e9;
+      for (const auto& [counter_name, counter] : run.counters) {
+        entry.counters.emplace_back(counter_name, counter.value);
+      }
+      entries_.push_back(std::move(entry));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+std::string microbench_manifest_json(
+    const std::vector<ManifestCollector::Entry>& entries) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("schema").value("dynvote.microbench.v1");
+  json.key("created_unix")
+      .value(static_cast<std::int64_t>(
+          std::time(nullptr)));  // dvlint: ignore(determinism)
+  json.key("git_describe").value(artifact_git_describe());
+  json.key("alloc_hook_linked").value(alloc_hook_linked());
+  json.key("benchmarks").begin_array();
+  for (const ManifestCollector::Entry& entry : entries) {
+    json.begin_object();
+    json.key("name").value(entry.name);
+    json.key("iterations").value(static_cast<std::int64_t>(entry.iterations));
+    json.key("real_ns").value(entry.real_ns);
+    json.key("cpu_ns").value(entry.cpu_ns);
+    if (!entry.counters.empty()) {
+      json.key("counters").begin_object();
+      for (const auto& [name, value] : entry.counters) {
+        json.key(name).value(value);
+      }
+      json.end_object();
+    }
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
 }  // namespace
 }  // namespace dynvote
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  dynvote::ManifestCollector reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  const std::string path = dynvote::write_artifact_document(
+      "MICRO_bench.json",
+      dynvote::microbench_manifest_json(reporter.entries()));
+  if (!path.empty()) {
+    std::fprintf(stderr, "microbench manifest: %s\n", path.c_str());
+  }
+  return 0;
+}

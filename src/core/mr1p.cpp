@@ -50,6 +50,7 @@ void Mr1p::view_changed(const View& view) {
   current_view_ = view;
   in_primary_ = false;
   outbox_.clear();
+  outbox_head_ = 0;
   unanswered_queries_.clear();
   echo_senders_.clear();
   best_echo_num_ = 0;
@@ -62,12 +63,16 @@ void Mr1p::view_changed(const View& view) {
   tried_new_ = false;
 
   if (pending_.has_value()) {
-    auto r1 = std::make_shared<Mr1pPendingPayload>();
-    r1->has_pending = true;
-    r1->pending = *pending_;
-    r1->num = num_;
-    r1->status = status_;
-    stage(std::move(r1));
+    // Rebuild the R1 payload in place once every holder from the previous
+    // view change (recipients, the network) has dropped it.
+    if (!pending_pool_ || pending_pool_.use_count() > 1) {
+      pending_pool_ = std::make_shared<Mr1pPendingPayload>();
+    }
+    pending_pool_->has_pending = true;
+    pending_pool_->pending = *pending_;
+    pending_pool_->num = num_;
+    pending_pool_->status = status_;
+    stage(pending_pool_);
   } else {
     try_new();
   }
@@ -121,9 +126,15 @@ Message Mr1p::incoming_message(Message message, ProcessId sender) {
 
 std::optional<Message> Mr1p::outgoing_message_poll(const Message& app) {
   // Replies take priority: every query delivered in the previous round is
-  // answered in one batched multicast.
+  // answered in one batched multicast.  The batch payload is reused from
+  // poll to poll (the replies vector keeps its capacity) whenever the
+  // previous batch has drained from the network and its recipients.
   if (!unanswered_queries_.empty()) {
-    auto batch = std::make_shared<Mr1pReplyPayload>();
+    if (!reply_pool_ || reply_pool_.use_count() > 1) {
+      reply_pool_ = std::make_shared<Mr1pReplyPayload>();
+    }
+    const std::shared_ptr<Mr1pReplyPayload>& batch = reply_pool_;
+    batch->replies.clear();
     for (const Session& about : unanswered_queries_) {
       Mr1pReplyItem item;
       item.about = about;
@@ -143,15 +154,18 @@ std::optional<Message> Mr1p::outgoing_message_poll(const Message& app) {
     if (!batch->replies.empty()) {
       batch->view_id = current_view_.id;
       Message out = app;
-      out.protocol = std::move(batch);
+      out.protocol = batch;
       return out;
     }
   }
 
-  if (outbox_.empty()) return std::nullopt;
+  if (outbox_head_ == outbox_.size()) return std::nullopt;
   Message out = app;
-  out.protocol = outbox_.front();
-  outbox_.pop_front();
+  out.protocol = std::move(outbox_[outbox_head_]);
+  if (++outbox_head_ == outbox_.size()) {
+    outbox_.clear();
+    outbox_head_ = 0;
+  }
   return out;
 }
 
@@ -334,8 +348,11 @@ void Mr1p::save(Encoder& enc) const {
   enc.put_bool(in_primary_);
 
   current_view_.encode(enc);
-  enc.put_varint(outbox_.size());
-  for (const PayloadPtr& p : outbox_) enc.put_bytes(encode_payload(*p));
+  // Only the live range [outbox_head_, size) survives a checkpoint.
+  enc.put_varint(outbox_.size() - outbox_head_);
+  for (std::size_t i = outbox_head_; i < outbox_.size(); ++i) {
+    enc.put_bytes(encode_payload(*outbox_[i]));
+  }
   enc.put_varint(unanswered_queries_.size());
   for (const Session& s : unanswered_queries_) s.encode(enc);
   echo_senders_.encode(enc);
@@ -383,6 +400,7 @@ void Mr1p::load(Decoder& dec) {
   const std::uint64_t staged = dec.get_varint();
   if (staged > 1'000'000) throw DecodeError("implausible outbox length");
   outbox_.clear();
+  outbox_head_ = 0;
   for (std::uint64_t i = 0; i < staged; ++i) {
     const std::vector<std::byte> bytes = dec.get_bytes();
     outbox_.push_back(decode_payload(bytes));

@@ -37,7 +37,7 @@
 // again).
 #pragma once
 
-#include <deque>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -107,7 +107,12 @@ class Mr1p final : public PrimaryComponentAlgorithm {
 
   // --- per-view protocol state ---
   View current_view_;
-  std::deque<PayloadPtr> outbox_;
+  /// Staged payloads, appended and consumed front-to-back via outbox_head_
+  /// (vector + cursor instead of a deque so capacity survives view changes
+  /// and steady-state staging never allocates).  The consumed prefix is
+  /// dead; save() encodes only the live range and load() re-packs from 0.
+  std::vector<PayloadPtr> outbox_;
+  std::size_t outbox_head_ = 0;
   /// Distinct sessions queried via R1 since the last poll, awaiting replies.
   std::vector<Session> unanswered_queries_;
   /// Members of pending_ whose status echo arrived (self included via
@@ -122,6 +127,13 @@ class Mr1p final : public PrimaryComponentAlgorithm {
   ProcessSet attempt_received_;
   bool attempt_sent_ = false;
   bool tried_new_ = false;
+  /// Single-slot payload reuse, valid only while we hold the sole
+  /// reference (single-threaded simulation; snapshots cover these by value
+  /// wherever the payload is actually staged or in flight).
+  std::shared_ptr<Mr1pPendingPayload>
+      pending_pool_;  // dvlint: transient(allocator cache, never read back)
+  std::shared_ptr<Mr1pReplyPayload>
+      reply_pool_;  // dvlint: transient(allocator cache, never read back)
 };
 
 }  // namespace dynvote

@@ -2,19 +2,16 @@
 
 #include <bit>
 
-#include "util/assert.hpp"
 #include "util/codec.hpp"
 
 namespace dynvote {
 
-namespace {
-std::size_t words_for(std::size_t universe_size) {
-  return (universe_size + 63) / 64;
-}
-}  // namespace
-
 ProcessSet::ProcessSet(std::size_t universe_size)
-    : universe_size_(universe_size), words_(words_for(universe_size), 0) {}
+    : universe_size_(universe_size) {
+  if (words_for(universe_size) > kInlineWords) {
+    spill_.assign(words_for(universe_size), 0);
+  }
+}
 
 ProcessSet::ProcessSet(std::size_t universe_size,
                        std::initializer_list<ProcessId> ids)
@@ -24,22 +21,22 @@ ProcessSet::ProcessSet(std::size_t universe_size,
 
 ProcessSet ProcessSet::full(std::size_t universe_size) {
   ProcessSet s(universe_size);
-  for (std::size_t w = 0; w < s.words_.size(); ++w) s.words_[w] = ~0ULL;
+  std::uint64_t* words = s.word_data();
+  for (std::size_t w = 0; w < s.word_count(); ++w) words[w] = ~0ULL;
   const std::size_t tail = universe_size % 64;
-  if (tail != 0 && !s.words_.empty()) {
-    s.words_.back() = (1ULL << tail) - 1;
+  if (tail != 0 && s.word_count() > 0) {
+    words[s.word_count() - 1] = (1ULL << tail) - 1;
   }
   return s;
 }
 
 std::size_t ProcessSet::count() const {
+  const std::uint64_t* words = word_data();
   std::size_t n = 0;
-  for (std::uint64_t w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  for (std::size_t w = 0; w < word_count(); ++w) {
+    n += static_cast<std::size_t>(std::popcount(words[w]));
+  }
   return n;
-}
-
-void ProcessSet::check_id(ProcessId id) const {
-  DV_REQUIRE(id < universe_size_, "process id outside the set's universe");
 }
 
 void ProcessSet::check_same_universe(const ProcessSet& other) const {
@@ -47,30 +44,12 @@ void ProcessSet::check_same_universe(const ProcessSet& other) const {
              "set operation across different universes");
 }
 
-bool ProcessSet::contains(ProcessId id) const {
-  if (id >= universe_size_) return false;
-  return (words_[id / 64] >> (id % 64)) & 1;
-}
-
-void ProcessSet::insert(ProcessId id) {
-  check_id(id);
-  words_[id / 64] |= (1ULL << (id % 64));
-}
-
-void ProcessSet::erase(ProcessId id) {
-  check_id(id);
-  words_[id / 64] &= ~(1ULL << (id % 64));
-}
-
-void ProcessSet::clear() {
-  for (auto& w : words_) w = 0;
-}
-
 ProcessId ProcessSet::lowest() const {
-  for (std::size_t w = 0; w < words_.size(); ++w) {
-    if (words_[w] != 0) {
+  const std::uint64_t* words = word_data();
+  for (std::size_t w = 0; w < word_count(); ++w) {
+    if (words[w] != 0) {
       return static_cast<ProcessId>(
-          w * 64 + static_cast<std::size_t>(std::countr_zero(words_[w])));
+          w * 64 + static_cast<std::size_t>(std::countr_zero(words[w])));
     }
   }
   return kInvalidProcess;
@@ -78,25 +57,31 @@ ProcessId ProcessSet::lowest() const {
 
 std::size_t ProcessSet::intersection_count(const ProcessSet& other) const {
   check_same_universe(other);
+  const std::uint64_t* a = word_data();
+  const std::uint64_t* b = other.word_data();
   std::size_t n = 0;
-  for (std::size_t w = 0; w < words_.size(); ++w) {
-    n += static_cast<std::size_t>(std::popcount(words_[w] & other.words_[w]));
+  for (std::size_t w = 0; w < word_count(); ++w) {
+    n += static_cast<std::size_t>(std::popcount(a[w] & b[w]));
   }
   return n;
 }
 
 bool ProcessSet::is_subset_of(const ProcessSet& other) const {
   check_same_universe(other);
-  for (std::size_t w = 0; w < words_.size(); ++w) {
-    if ((words_[w] & ~other.words_[w]) != 0) return false;
+  const std::uint64_t* a = word_data();
+  const std::uint64_t* b = other.word_data();
+  for (std::size_t w = 0; w < word_count(); ++w) {
+    if ((a[w] & ~b[w]) != 0) return false;
   }
   return true;
 }
 
 bool ProcessSet::intersects(const ProcessSet& other) const {
   check_same_universe(other);
-  for (std::size_t w = 0; w < words_.size(); ++w) {
-    if ((words_[w] & other.words_[w]) != 0) return true;
+  const std::uint64_t* a = word_data();
+  const std::uint64_t* b = other.word_data();
+  for (std::size_t w = 0; w < word_count(); ++w) {
+    if ((a[w] & b[w]) != 0) return true;
   }
   return false;
 }
@@ -104,29 +89,37 @@ bool ProcessSet::intersects(const ProcessSet& other) const {
 ProcessSet ProcessSet::united_with(const ProcessSet& other) const {
   check_same_universe(other);
   ProcessSet out = *this;
-  for (std::size_t w = 0; w < words_.size(); ++w) out.words_[w] |= other.words_[w];
+  std::uint64_t* words = out.word_data();
+  const std::uint64_t* b = other.word_data();
+  for (std::size_t w = 0; w < out.word_count(); ++w) words[w] |= b[w];
   return out;
 }
 
 ProcessSet ProcessSet::intersected_with(const ProcessSet& other) const {
   check_same_universe(other);
   ProcessSet out = *this;
-  for (std::size_t w = 0; w < words_.size(); ++w) out.words_[w] &= other.words_[w];
+  std::uint64_t* words = out.word_data();
+  const std::uint64_t* b = other.word_data();
+  for (std::size_t w = 0; w < out.word_count(); ++w) words[w] &= b[w];
   return out;
 }
 
 ProcessSet ProcessSet::minus(const ProcessSet& other) const {
   check_same_universe(other);
   ProcessSet out = *this;
-  for (std::size_t w = 0; w < words_.size(); ++w) out.words_[w] &= ~other.words_[w];
+  std::uint64_t* words = out.word_data();
+  const std::uint64_t* b = other.word_data();
+  for (std::size_t w = 0; w < out.word_count(); ++w) words[w] &= ~b[w];
   return out;
 }
 
 int ProcessSet::compare(const ProcessSet& other) const {
   check_same_universe(other);
-  for (std::size_t w = 0; w < words_.size(); ++w) {
-    if (words_[w] != other.words_[w]) {
-      return words_[w] < other.words_[w] ? -1 : 1;
+  const std::uint64_t* a = word_data();
+  const std::uint64_t* b = other.word_data();
+  for (std::size_t w = 0; w < word_count(); ++w) {
+    if (a[w] != b[w]) {
+      return a[w] < b[w] ? -1 : 1;
     }
   }
   return 0;
@@ -153,17 +146,23 @@ std::string ProcessSet::to_string() const {
 
 void ProcessSet::encode(Encoder& enc) const {
   enc.put_varint(universe_size_);
-  for (std::uint64_t w : words_) enc.put_u64_fixed(w);
+  const std::uint64_t* words =
+      spill_.empty() ? inline_words_.data() : spill_.data();
+  for (std::size_t w = 0; w < word_count(); ++w) enc.put_u64_fixed(words[w]);
 }
 
 ProcessSet ProcessSet::decode(Decoder& dec) {
   const std::uint64_t universe = dec.get_varint();
   if (universe > 1'000'000) throw DecodeError("implausible universe size");
   ProcessSet s(static_cast<std::size_t>(universe));
-  for (auto& w : s.words_) w = dec.get_u64_fixed();
+  std::uint64_t* words =
+      s.spill_.empty() ? s.inline_words_.data() : s.spill_.data();
+  for (std::size_t w = 0; w < s.word_count(); ++w) {
+    words[w] = dec.get_u64_fixed();
+  }
   const std::size_t tail = s.universe_size_ % 64;
-  if (tail != 0 && !s.words_.empty() &&
-      (s.words_.back() >> tail) != 0) {
+  if (tail != 0 && s.word_count() > 0 &&
+      (words[s.word_count() - 1] >> tail) != 0) {
     throw DecodeError("bits set outside the universe");
   }
   return s;
@@ -171,8 +170,9 @@ ProcessSet ProcessSet::decode(Decoder& dec) {
 
 std::size_t ProcessSet::hash() const {
   std::uint64_t h = 0x9e3779b97f4a7c15ULL ^ universe_size_;
-  for (std::uint64_t w : words_) {
-    h ^= w + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  const std::uint64_t* words = word_data();
+  for (std::size_t w = 0; w < word_count(); ++w) {
+    h ^= words[w] + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
   }
   return static_cast<std::size_t>(h);
 }

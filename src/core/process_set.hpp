@@ -5,8 +5,19 @@
 // bitmap -- a fixed-universe dynamic bitset with the set algebra the quorum
 // rules need (intersection counting, subset tests, lowest member for the
 // lexical tie-break).
+//
+// Storage is small-buffer optimized: universes of up to 128 processes (two
+// 64-bit words -- the study itself tops out at 64) live entirely inline, so
+// constructing, copying and combining the sets that flow through every
+// protocol round never touches the allocator.  Larger universes spill to a
+// heap vector.  Invariant: exactly one representation is active -- when the
+// set is inline the spill vector is empty and any unused inline words are
+// zero; when spilled the inline words are all zero -- so the defaulted
+// equality is structural equality and the wire format, `compare` and `hash`
+// are byte-identical to the old always-heap layout.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -15,6 +26,7 @@
 #include <vector>
 
 #include "core/types.hpp"
+#include "util/assert.hpp"
 
 namespace dynvote {
 
@@ -30,6 +42,31 @@ class ProcessSet {
   explicit ProcessSet(std::size_t universe_size);
   ProcessSet(std::size_t universe_size, std::initializer_list<ProcessId> ids);
 
+  ProcessSet(const ProcessSet&) = default;
+  ProcessSet& operator=(const ProcessSet&) = default;
+  /// Moves leave the source in the default (universe-0) state, preserving
+  /// the representation invariant the defaulted equality relies on.
+  ProcessSet(ProcessSet&& other) noexcept
+      : universe_size_(other.universe_size_),
+        inline_words_(other.inline_words_),
+        spill_(std::move(other.spill_)) {
+    other.universe_size_ = 0;
+    other.inline_words_.fill(0);
+    other.spill_.clear();
+  }
+  ProcessSet& operator=(ProcessSet&& other) noexcept {
+    if (this != &other) {
+      universe_size_ = other.universe_size_;
+      inline_words_ = other.inline_words_;
+      spill_ = std::move(other.spill_);
+      other.universe_size_ = 0;
+      other.inline_words_.fill(0);
+      other.spill_.clear();
+    }
+    return *this;
+  }
+  ~ProcessSet() = default;
+
   /// The full set {0, ..., universe_size-1}.
   static ProcessSet full(std::size_t universe_size);
 
@@ -39,10 +76,25 @@ class ProcessSet {
   std::size_t count() const;
   bool empty() const { return count() == 0; }
 
-  bool contains(ProcessId id) const;
-  void insert(ProcessId id);
-  void erase(ProcessId id);
-  void clear();
+  bool contains(ProcessId id) const {
+    if (id >= universe_size_) return false;
+    return (word_data()[id / 64] >> (id % 64)) & 1;
+  }
+
+  void insert(ProcessId id) {
+    check_id(id);
+    word_data()[id / 64] |= (1ULL << (id % 64));
+  }
+
+  void erase(ProcessId id) {
+    check_id(id);
+    word_data()[id / 64] &= ~(1ULL << (id % 64));
+  }
+
+  void clear() {
+    std::uint64_t* words = word_data();
+    for (std::size_t w = 0; w < word_count(); ++w) words[w] = 0;
+  }
 
   /// Lowest-numbered member ("lexically smallest" in the thesis);
   /// kInvalidProcess if empty.
@@ -65,8 +117,9 @@ class ProcessSet {
   /// Invoke `fn(ProcessId)` for every member in ascending order.
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    for (std::size_t w = 0; w < words_.size(); ++w) {
-      std::uint64_t word = words_[w];
+    const std::uint64_t* words = word_data();
+    for (std::size_t w = 0; w < word_count(); ++w) {
+      std::uint64_t word = words[w];
       while (word != 0) {
         const int bit = __builtin_ctzll(word);
         fn(static_cast<ProcessId>(w * 64 + static_cast<std::size_t>(bit)));
@@ -93,11 +146,31 @@ class ProcessSet {
   std::size_t hash() const;
 
  private:
-  void check_id(ProcessId id) const;
+  /// Universes of up to kInlineWords * 64 ids are stored without heap
+  /// allocation.
+  static constexpr std::size_t kInlineWords = 2;
+
+  static constexpr std::size_t words_for(std::size_t universe_size) {
+    return (universe_size + 63) / 64;
+  }
+
+  std::size_t word_count() const { return words_for(universe_size_); }
+
+  const std::uint64_t* word_data() const {
+    return spill_.empty() ? inline_words_.data() : spill_.data();
+  }
+  std::uint64_t* word_data() {
+    return spill_.empty() ? inline_words_.data() : spill_.data();
+  }
+
+  void check_id(ProcessId id) const {
+    DV_REQUIRE(id < universe_size_, "process id outside the set's universe");
+  }
   void check_same_universe(const ProcessSet& other) const;
 
   std::size_t universe_size_ = 0;
-  std::vector<std::uint64_t> words_;
+  std::array<std::uint64_t, kInlineWords> inline_words_{};
+  std::vector<std::uint64_t> spill_;
 };
 
 }  // namespace dynvote

@@ -19,6 +19,7 @@ YkdFamilyBase::YkdFamilyBase(ProcessId self, const View& initial_view,
   last_formed_.assign(universe, genesis);
   current_view_ = initial_view;
   attempts_received_ = ProcessSet(universe);
+  states_.reset_universe(universe);
 }
 
 void YkdFamilyBase::view_changed(const View& view) {
@@ -30,13 +31,20 @@ void YkdFamilyBase::view_changed(const View& view) {
   states_.clear();
   attempts_received_.clear();
   outbox_.clear();  // anything staged for the old view is stale
+  outbox_head_ = 0;
 
-  auto state = std::make_shared<StateExchangePayload>();
-  state->session_number = session_number_;
-  state->last_primary = last_primary_;
-  state->ambiguous = ambiguous_;
-  state->last_formed = last_formed_;
-  stage(std::move(state));
+  // Rebuild our round-1 payload in place when we are its sole owner again
+  // (recipients cleared their exchange tables, the network flushed); the
+  // vectors inside keep their capacity, so steady-state view changes do
+  // not allocate for it.
+  if (!state_pool_ || state_pool_.use_count() > 1) {
+    state_pool_ = std::make_shared<StateExchangePayload>();
+  }
+  state_pool_->session_number = session_number_;
+  state_pool_->last_primary = last_primary_;
+  state_pool_->ambiguous = ambiguous_;
+  state_pool_->last_formed = last_formed_;
+  stage(state_pool_);
 }
 
 void YkdFamilyBase::stage(std::shared_ptr<ProtocolPayload> payload) {
@@ -58,8 +66,8 @@ Message YkdFamilyBase::incoming_message(Message message, ProcessId sender) {
       if (stage_ != Stage::kExchanging) break;  // stale duplicate round
       DV_ASSERT_MSG(current_view_.members.contains(sender),
                     "state from a non-member of the current view");
-      states_[sender] =
-          std::static_pointer_cast<const StateExchangePayload>(payload);
+      states_.set(sender, std::static_pointer_cast<const StateExchangePayload>(
+                              std::move(payload)));
       if (states_.size() == current_view_.members.count()) {
         on_exchange_complete();
       }
@@ -81,10 +89,13 @@ Message YkdFamilyBase::incoming_message(Message message, ProcessId sender) {
 }
 
 std::optional<Message> YkdFamilyBase::outgoing_message_poll(const Message& app) {
-  if (outbox_.empty()) return std::nullopt;
+  if (outbox_head_ == outbox_.size()) return std::nullopt;
   Message out = app;
-  out.protocol = outbox_.front();
-  outbox_.pop_front();
+  out.protocol = std::move(outbox_[outbox_head_]);
+  if (++outbox_head_ == outbox_.size()) {
+    outbox_.clear();
+    outbox_head_ = 0;
+  }
   return out;
 }
 
@@ -101,9 +112,11 @@ void YkdFamilyBase::handle_extra_payload(const ProtocolPayload& payload,
                << static_cast<int>(payload.type()) << " at process " << self_);
 }
 
-CombinedKnowledge YkdFamilyBase::compute_combined() const {
-  CombinedKnowledge k;
+const CombinedKnowledge& YkdFamilyBase::compute_combined() {
+  CombinedKnowledge& k = combined_scratch_;
+  k.max_session = 0;
   k.max_primary = Session{0, initial_view_.members};
+  k.constraints.clear();
 
   for (const auto& [q, state] : states_) {
     k.max_session = std::max(k.max_session, state->session_number);
@@ -140,11 +153,10 @@ bool YkdFamilyBase::provably_unformed(const Session& s,
   const ProcessId probe = s.members.lowest();
   bool unformed = true;
   s.members.for_each([&](ProcessId m) {
-    const auto it = states.find(m);
-    DV_ASSERT_MSG(it != states.end(), "member state missing after subset check");
-    const StateExchangePayload& st = *it->second;
-    if (st.last_primary == s) unformed = false;
-    if (probe < st.last_formed.size() && st.last_formed[probe] == s) {
+    const StateExchangePayload* st = states.get(m);
+    DV_ASSERT_MSG(st != nullptr, "member state missing after subset check");
+    if (st->last_primary == s) unformed = false;
+    if (probe < st->last_formed.size() && st->last_formed[probe] == s) {
       unformed = false;
     }
   });
@@ -152,7 +164,7 @@ bool YkdFamilyBase::provably_unformed(const Session& s,
 }
 
 void YkdFamilyBase::on_exchange_complete() {
-  const CombinedKnowledge knowledge = compute_combined();
+  const CombinedKnowledge& knowledge = compute_combined();
 
   // RESOLVE / ACCEPT: adopt the highest-numbered formed session containing
   // this process.  If q formed (or adopted) a session F with self in it,
@@ -220,9 +232,13 @@ void YkdFamilyBase::on_exchange_complete() {
   stage_ = Stage::kAttempting;
   attempts_received_.clear();
 
-  auto attempt = std::make_shared<AttemptPayload>();
-  attempt->proposal = proposed_;
-  stage(std::move(attempt));
+  // Reuse the previous attempt payload once its last outside reference
+  // (the network's copy from the previous round 2) is gone.
+  if (!attempt_pool_ || attempt_pool_.use_count() > 1) {
+    attempt_pool_ = std::make_shared<AttemptPayload>();
+  }
+  attempt_pool_->proposal = proposed_;
+  stage(attempt_pool_);
 }
 
 void YkdFamilyBase::form_primary() {
@@ -280,8 +296,12 @@ void YkdFamilyBase::save(Encoder& enc) const {
 
   attempts_received_.encode(enc);
   proposed_.encode(enc);
-  enc.put_varint(outbox_.size());
-  for (const PayloadPtr& p : outbox_) encode_staged_payload(enc, *p);
+  // Only the live range survives a checkpoint: entries before outbox_head_
+  // were already polled, so a restored instance re-packs from zero.
+  enc.put_varint(outbox_.size() - outbox_head_);
+  for (std::size_t i = outbox_head_; i < outbox_.size(); ++i) {
+    encode_staged_payload(enc, *outbox_[i]);
+  }
   save_extra(enc);
 }
 
@@ -306,12 +326,15 @@ void YkdFamilyBase::load(Decoder& dec) {
   states_.clear();
   for (std::uint64_t i = 0; i < state_count; ++i) {
     const ProcessId q = static_cast<ProcessId>(dec.get_varint());
+    if (q >= initial_view_.members.universe_size()) {
+      throw DecodeError("exchange state from an out-of-universe process");
+    }
     PayloadPtr payload = decode_staged_payload(dec);
     if (payload->type() != PayloadType::kStateExchange) {
       throw DecodeError("exchange map entry is not a state-exchange payload");
     }
-    states_[q] =
-        std::static_pointer_cast<const StateExchangePayload>(std::move(payload));
+    states_.set(q, std::static_pointer_cast<const StateExchangePayload>(
+                       std::move(payload)));
   }
 
   attempts_received_ = ProcessSet::decode(dec);
@@ -319,6 +342,7 @@ void YkdFamilyBase::load(Decoder& dec) {
   const std::uint64_t staged = dec.get_varint();
   if (staged > 1'000'000) throw DecodeError("implausible outbox length");
   outbox_.clear();
+  outbox_head_ = 0;
   for (std::uint64_t i = 0; i < staged; ++i) {
     outbox_.push_back(decode_staged_payload(dec));
   }

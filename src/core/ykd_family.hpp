@@ -32,8 +32,7 @@
 // this filter would drop anyway) cannot change any decision.
 #pragma once
 
-#include <deque>
-#include <map>
+#include <memory>
 #include <vector>
 
 #include "core/algorithm.hpp"
@@ -50,6 +49,86 @@ struct CombinedKnowledge {
   /// maxAmbiguousSessions after filtering: the constraints a new primary
   /// must be a subquorum of.
   std::vector<Session> constraints;
+};
+
+/// Flat, id-indexed table of the round-1 states received in the current
+/// exchange.  Replaces a std::map keyed by ProcessId: slot access is O(1)
+/// and allocation-free (the per-insert map node was the dominant
+/// steady-state allocation of the round loop), and iteration is in
+/// ascending process id -- the deterministic traversal order the
+/// combined-knowledge folds and the snapshot writer require.
+class StateExchangeTable {
+ public:
+  using Ptr = std::shared_ptr<const StateExchangePayload>;
+
+  /// Pair-shaped view of one occupied slot, so range-for call sites read
+  /// like the map this replaced.
+  struct Entry {
+    ProcessId first;
+    const Ptr& second;
+  };
+
+  class const_iterator {
+   public:
+    const_iterator(const StateExchangeTable* table, std::size_t index)
+        : table_(table), index_(index) {
+      skip_empty();
+    }
+    Entry operator*() const {
+      return Entry{static_cast<ProcessId>(index_), table_->slots_[index_]};
+    }
+    const_iterator& operator++() {
+      ++index_;
+      skip_empty();
+      return *this;
+    }
+    bool operator==(const const_iterator& other) const {
+      return index_ == other.index_;
+    }
+
+   private:
+    void skip_empty() {
+      while (index_ < table_->slots_.size() && !table_->slots_[index_]) {
+        ++index_;
+      }
+    }
+    const StateExchangeTable* table_;
+    std::size_t index_;
+  };
+
+  /// Size the table for a universe of `universe` processes, dropping
+  /// everything held.
+  void reset_universe(std::size_t universe) {
+    slots_.assign(universe, nullptr);
+    count_ = 0;
+  }
+
+  /// Record `state` as received from `q` (q must be inside the universe).
+  void set(ProcessId q, Ptr state) {
+    if (!slots_[q]) ++count_;
+    slots_[q] = std::move(state);
+  }
+
+  /// The state received from `q`, or nullptr if none (or q out of range).
+  const StateExchangePayload* get(ProcessId q) const {
+    return q < slots_.size() ? slots_[q].get() : nullptr;
+  }
+
+  /// Number of distinct processes whose state has been received.
+  std::size_t size() const { return count_; }
+
+  /// Drop every held state, keeping the slot storage.
+  void clear() {
+    for (Ptr& slot : slots_) slot = nullptr;
+    count_ = 0;
+  }
+
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, slots_.size()); }
+
+ private:
+  std::vector<Ptr> slots_;
+  std::size_t count_ = 0;
 };
 
 class YkdFamilyBase : public PrimaryComponentAlgorithm {
@@ -69,11 +148,10 @@ class YkdFamilyBase : public PrimaryComponentAlgorithm {
 
  protected:
   /// Ordered by process id: the combined-knowledge folds and the snapshot
-  /// writer iterate this map, so its traversal order must be deterministic
-  /// across platforms (dvlint's determinism check bans unordered iteration
-  /// in result-affecting paths).
-  using StateMap =
-      std::map<ProcessId, std::shared_ptr<const StateExchangePayload>>;
+  /// writer iterate this table, so its traversal order must be
+  /// deterministic across platforms (dvlint's determinism check bans
+  /// unordered iteration in result-affecting paths).
+  using StateMap = StateExchangeTable;
 
   /// How a variant sheds stored ambiguous sessions between formations.
   enum class PruneMode {
@@ -156,7 +234,9 @@ class YkdFamilyBase : public PrimaryComponentAlgorithm {
 
   void on_exchange_complete();
   void form_primary();
-  CombinedKnowledge compute_combined() const;
+  /// Fills combined_scratch_ from states_ and returns a reference to it, so
+  /// the constraint vector's capacity is reused across exchanges.
+  const CombinedKnowledge& compute_combined();
 
   PruneMode prune_mode_;     // dvlint: transient(constructor configuration)
   bool filter_constraints_;  // dvlint: transient(constructor configuration)
@@ -164,7 +244,26 @@ class YkdFamilyBase : public PrimaryComponentAlgorithm {
   StateMap states_;
   ProcessSet attempts_received_;
   Session proposed_;
-  std::deque<PayloadPtr> outbox_;
+  /// Staged payloads are appended and consumed front-to-back via
+  /// outbox_head_; a vector + cursor (instead of a deque) keeps its storage
+  /// flat and its capacity alive across view changes, so steady-state
+  /// staging never allocates.  The consumed prefix [0, outbox_head_) is
+  /// dead; save() encodes only the live range and load() re-packs from 0.
+  std::vector<PayloadPtr> outbox_;
+  std::size_t outbox_head_ = 0;
+  /// Our own round-1 payload, retained so the next view change can rebuild
+  /// it in place -- reusing its vector capacities -- once every other
+  /// holder (recipients' exchange tables, the network) has dropped it,
+  /// which use_count()==1 proves in this single-threaded simulation.  Pure
+  /// allocator cache: the snapshot covers the payload by value wherever it
+  /// is actually staged or received.
+  std::shared_ptr<StateExchangePayload>
+      state_pool_;  // dvlint: transient(allocator cache, never read back)
+  /// Single-slot reuse of the round-2 attempt payload, same contract.
+  std::shared_ptr<AttemptPayload>
+      attempt_pool_;  // dvlint: transient(allocator cache, never read back)
+  CombinedKnowledge
+      combined_scratch_;  // dvlint: transient(rebuilt by every exchange)
 };
 
 }  // namespace dynvote

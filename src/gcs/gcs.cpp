@@ -45,6 +45,7 @@ const View& Gcs::view_of(ProcessId id) const {
 
 void Gcs::deliver(ProcessId recipient, const Message& message,
                   ProcessId sender) {
+  ++deliveries_;
   // The application-side return value (the stripped message) is dropped:
   // the simulated application has no payload traffic of its own.
   (void)algorithms_[recipient]->incoming_message(message, sender);
@@ -53,25 +54,31 @@ void Gcs::deliver(ProcessId recipient, const Message& message,
 void Gcs::record_send(const Message& message) {
   ++wire_stats_.messages_sent;
   if (message.has_protocol()) ++wire_stats_.protocol_messages_sent;
-  if (options_.measure_wire_sizes) {
-    const std::size_t bytes = message.wire_size();
-    wire_stats_.total_message_bytes += bytes;
-    if (bytes > wire_stats_.max_message_bytes) {
-      wire_stats_.max_message_bytes = bytes;
-    }
+  if (!options_.measure_wire_sizes) return;
+  measure_wire(message);
+}
+
+// Out of line so the per-send fast path in record_send stays tiny; only
+// the message-size bench pays for the encode below.
+void Gcs::measure_wire(const Message& message) {
+  const std::size_t bytes = message.wire_size();
+  wire_stats_.total_message_bytes += bytes;
+  if (bytes > wire_stats_.max_message_bytes) {
+    wire_stats_.max_message_bytes = bytes;
   }
 }
 
 bool Gcs::step_round() {
-  const auto deliver_fn = [this](ProcessId r, const Message& m, ProcessId s) {
-    deliver(r, m, s);
-  };
-  const std::size_t deliveries = network_.deliver_all(deliver_fn);
+  const DeliverCallback deliver_cb{this};
+  const std::size_t deliveries = network_.deliver_all(deliver_cb);
 
+  // One empty application message serves every poll of the round (the
+  // contract passes it by const reference).
+  static const Message kEmptyApp = Message::empty();
   std::size_t sends = 0;
   for (ProcessId p = 0; p < algorithms_.size(); ++p) {
     if (crashed_.contains(p)) continue;
-    auto out = algorithms_[p]->outgoing_message_poll(Message::empty());
+    auto out = algorithms_[p]->outgoing_message_poll(kEmptyApp);
     if (!out.has_value()) continue;
     record_send(*out);
     if (options_.serialize_on_wire) {
@@ -93,20 +100,17 @@ void Gcs::install_view(const ProcessSet& members) {
 }
 
 void Gcs::apply_partition(std::size_t component_index, const ProcessSet& moved,
-                          const Network::CrossDeliveryFn& crosses) {
+                          Network::CrossDeliveryFn crosses) {
   const ProcessSet component = topology_.component(component_index);
   const ProcessSet remainder = component.minus(moved);
   DV_REQUIRE(!moved.empty() && !remainder.empty(),
              "partition must produce two non-empty sides");
 
-  const auto deliver_fn = [this](ProcessId r, const Message& m, ProcessId s) {
-    deliver(r, m, s);
-  };
-  const Network::CrossDeliveryFn coin = [this](ProcessId /*sender*/) {
-    return delivery_rng_.chance(0.5);
-  };
-  network_.flush_for_partition(component, remainder, moved, deliver_fn,
-                               crosses ? crosses : coin);
+  const DeliverCallback deliver_cb{this};
+  const CoinCallback coin_cb{this};
+  network_.flush_for_partition(
+      component, remainder, moved, deliver_cb,
+      crosses ? crosses : Network::CrossDeliveryFn(coin_cb));
   topology_.split(component_index, moved);
   install_view(remainder);
   install_view(moved);
@@ -116,16 +120,14 @@ void Gcs::apply_merge(std::size_t a, std::size_t b) {
   const ProcessSet comp_a = topology_.component(a);
   const ProcessSet comp_b = topology_.component(b);
 
-  const auto deliver_fn = [this](ProcessId r, const Message& m, ProcessId s) {
-    deliver(r, m, s);
-  };
-  network_.flush_for_merge(comp_a, deliver_fn);
-  network_.flush_for_merge(comp_b, deliver_fn);
+  const DeliverCallback deliver_cb{this};
+  network_.flush_for_merge(comp_a, deliver_cb);
+  network_.flush_for_merge(comp_b, deliver_cb);
   topology_.merge(a, b);
   install_view(comp_a.united_with(comp_b));
 }
 
-void Gcs::apply_crash(ProcessId p, const Network::CrossDeliveryFn& crosses) {
+void Gcs::apply_crash(ProcessId p, Network::CrossDeliveryFn crosses) {
   DV_REQUIRE(p < algorithms_.size(), "process id out of range");
   DV_REQUIRE(!crashed_.contains(p), "process is already crashed");
 
@@ -135,21 +137,21 @@ void Gcs::apply_crash(ProcessId p, const Network::CrossDeliveryFn& crosses) {
       topology_.universe_size(), {p}));
 
   // A dead process receives nothing; its own in-flight multicasts may
-  // still escape to the survivors.
+  // still escape to the survivors.  The lambda is a named local, so the
+  // non-owning callback references stay valid for both flush calls.
   const auto deliver_fn = [this, p](ProcessId r, const Message& m,
                                     ProcessId s) {
     if (r == p) return;
     deliver(r, m, s);
   };
-  const Network::CrossDeliveryFn coin = [this](ProcessId /*sender*/) {
-    return delivery_rng_.chance(0.5);
-  };
 
+  const CoinCallback coin_cb{this};
   if (!survivors.empty()) {
     ProcessSet lone(topology_.universe_size());
     lone.insert(p);
-    network_.flush_for_partition(component, survivors, lone, deliver_fn,
-                                 crosses ? crosses : coin);
+    network_.flush_for_partition(
+        component, survivors, lone, deliver_fn,
+        crosses ? crosses : Network::CrossDeliveryFn(coin_cb));
     topology_.split(index, lone);
     install_view(survivors);
   } else {
@@ -190,6 +192,7 @@ void Gcs::save(Encoder& enc) const {
   enc.put_varint(wire_stats_.protocol_messages_sent);
   enc.put_varint(wire_stats_.max_message_bytes);
   enc.put_varint(wire_stats_.total_message_bytes);
+  enc.put_varint(deliveries_);
   crashed_.encode(enc);
 }
 
@@ -226,6 +229,7 @@ void Gcs::load(Decoder& dec) {
   wire_stats_.protocol_messages_sent = dec.get_varint();
   wire_stats_.max_message_bytes = static_cast<std::size_t>(dec.get_varint());
   wire_stats_.total_message_bytes = dec.get_varint();
+  deliveries_ = dec.get_varint();
   ProcessSet crashed = ProcessSet::decode(dec);
   if (crashed.universe_size() != algorithms_.size()) {
     throw DecodeError("snapshot crash set universe does not match this Gcs");

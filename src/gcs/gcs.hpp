@@ -75,6 +75,12 @@ class Gcs {
   const Topology& topology() const { return topology_; }
   const WireStats& wire_stats() const { return wire_stats_; }
 
+  /// Total (message, recipient) deliveries made so far -- round deliveries
+  /// and flush deliveries alike.  Cumulative like the wire counters; the
+  /// experiment layer folds per-run deltas for the deliveries/sec
+  /// telemetry.
+  std::uint64_t deliveries() const { return deliveries_; }
+
   PrimaryComponentAlgorithm& algorithm(ProcessId id);
   const PrimaryComponentAlgorithm& algorithm(ProcessId id) const;
 
@@ -93,7 +99,7 @@ class Gcs {
   /// Directed tests pass an explicit `crosses` to script Figure 3-1-style
   /// asymmetries.
   void apply_partition(std::size_t component_index, const ProcessSet& moved,
-                       const Network::CrossDeliveryFn& crosses = nullptr);
+                       Network::CrossDeliveryFn crosses = nullptr);
 
   /// Merge components `a` and `b`.  In-flight messages of both flush to
   /// their full old scopes, then the union receives a new view.
@@ -105,8 +111,7 @@ class Gcs {
   /// crashing may still reach the survivors (per `crosses`, defaulting to
   /// the delivery coin); messages addressed to it are lost.  The survivors
   /// receive a new view.
-  void apply_crash(ProcessId p,
-                   const Network::CrossDeliveryFn& crosses = nullptr);
+  void apply_crash(ProcessId p, Network::CrossDeliveryFn crosses = nullptr);
 
   /// Recover a crashed process with its state intact (crash-recovery with
   /// stable storage).  It rejoins as a singleton component -- receiving a
@@ -137,6 +142,24 @@ class Gcs {
   void install_view(const ProcessSet& members);
   void deliver(ProcessId recipient, const Message& message, ProcessId sender);
   void record_send(const Message& message);
+  void measure_wire(const Message& message);
+
+  /// Callable targets for the network's non-owning callbacks
+  /// (util/function_ref.hpp).  One-word structs built as locals at each
+  /// call site (so Gcs stays movable) -- constructing one is free, unlike
+  /// the std::function each round used to allocate for.
+  struct DeliverCallback {
+    Gcs* gcs;
+    void operator()(ProcessId r, const Message& m, ProcessId s) const {
+      gcs->deliver(r, m, s);
+    }
+  };
+  struct CoinCallback {
+    Gcs* gcs;
+    bool operator()(ProcessId /*sender*/) const {
+      return gcs->delivery_rng_.chance(0.5);
+    }
+  };
 
   GcsOptions options_;  // dvlint: transient(constructor configuration)
   Topology topology_;
@@ -146,6 +169,7 @@ class Gcs {
   std::vector<View> installed_views_;
   ViewId next_view_id_ = 2;  // the initial view is id 1
   WireStats wire_stats_;
+  std::uint64_t deliveries_ = 0;
   ProcessSet crashed_;
 };
 

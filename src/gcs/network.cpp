@@ -13,34 +13,35 @@ void Network::send(ProcessId sender, ProcessSet scope, Message message) {
 }
 
 void Network::deliver_to(const Multicast& m, const ProcessSet& recipients,
-                         const DeliverFn& deliver) {
+                         DeliverFn deliver) {
   recipients.for_each(
       [&](ProcessId r) { deliver(r, m.message, m.sender); });
 }
 
-std::size_t Network::deliver_all(const DeliverFn& deliver) {
+std::size_t Network::deliver_all(DeliverFn deliver) {
   // Swap out first: deliveries can trigger polls in a driver that sends new
-  // messages, and those belong to the *next* round.
-  std::vector<Multicast> batch;
-  batch.swap(in_flight_);
+  // messages, and those belong to the *next* round.  The batch buffer is a
+  // member so its capacity survives: sends during delivery refill
+  // in_flight_ (which holds last round's batch capacity), and the steady
+  // state round loop never allocates.
+  batch_scratch_.swap(in_flight_);
   std::size_t deliveries = 0;
-  for (const Multicast& m : batch) {
+  for (const Multicast& m : batch_scratch_) {
     deliver_to(m, m.scope, deliver);
     deliveries += m.scope.count();
   }
+  batch_scratch_.clear();
   return deliveries;
 }
 
 void Network::flush_for_partition(const ProcessSet& component,
                                   const ProcessSet& side_a,
                                   const ProcessSet& side_b,
-                                  const DeliverFn& deliver,
-                                  const CrossDeliveryFn& crosses) {
-  std::vector<Multicast> kept;
-  kept.reserve(in_flight_.size());
+                                  DeliverFn deliver, CrossDeliveryFn crosses) {
+  kept_scratch_.clear();
   for (Multicast& m : in_flight_) {
     if (!(m.scope == component)) {
-      kept.push_back(std::move(m));
+      kept_scratch_.push_back(std::move(m));
       continue;
     }
     const bool sender_on_a = side_a.contains(m.sender);
@@ -51,7 +52,8 @@ void Network::flush_for_partition(const ProcessSet& component,
     deliver_to(m, near_side, deliver);
     if (crosses(m.sender)) deliver_to(m, far_side, deliver);
   }
-  in_flight_ = std::move(kept);
+  in_flight_.swap(kept_scratch_);
+  kept_scratch_.clear();
 }
 
 void Network::encode(Encoder& enc) const {
@@ -81,18 +83,17 @@ Network Network::decode(Decoder& dec) {
   return net;
 }
 
-void Network::flush_for_merge(const ProcessSet& component,
-                              const DeliverFn& deliver) {
-  std::vector<Multicast> kept;
-  kept.reserve(in_flight_.size());
+void Network::flush_for_merge(const ProcessSet& component, DeliverFn deliver) {
+  kept_scratch_.clear();
   for (Multicast& m : in_flight_) {
     if (!(m.scope == component)) {
-      kept.push_back(std::move(m));
+      kept_scratch_.push_back(std::move(m));
       continue;
     }
     deliver_to(m, m.scope, deliver);
   }
-  in_flight_ = std::move(kept);
+  in_flight_.swap(kept_scratch_);
+  kept_scratch_.clear();
 }
 
 }  // namespace dynvote

@@ -19,11 +19,11 @@
 // delivered normally at the next round.
 #pragma once
 
-#include <functional>
 #include <vector>
 
 #include "core/message.hpp"
 #include "core/types.hpp"
+#include "util/function_ref.hpp"
 
 namespace dynvote {
 
@@ -32,22 +32,28 @@ class Decoder;
 
 class Network {
  public:
-  /// Called once per (message, recipient) delivery.
+  /// Called once per (message, recipient) delivery.  A non-owning reference
+  /// (util/function_ref.hpp): callers keep the callable alive for the
+  /// duration of the call, which every caller in the simulator does
+  /// trivially -- the callbacks are locals or members of the Gcs that owns
+  /// this network.
   using DeliverFn =
-      std::function<void(ProcessId recipient, const Message& message,
-                         ProcessId sender)>;
+      FunctionRef<void(ProcessId recipient, const Message& message,
+                       ProcessId sender)>;
 
   /// Decides, per in-flight multicast, whether it crosses to the far side
   /// of a partition before connectivity is lost.
-  using CrossDeliveryFn = std::function<bool(ProcessId sender)>;
+  using CrossDeliveryFn = FunctionRef<bool(ProcessId sender)>;
 
   /// Queue a multicast from `sender`, scoped to its component at send time.
   void send(ProcessId sender, ProcessSet scope, Message message);
 
   /// Deliver every queued multicast to all processes in its scope, in send
   /// order, recipients in ascending id order.  Returns the number of
-  /// deliveries made.
-  std::size_t deliver_all(const DeliverFn& deliver);
+  /// deliveries made.  Not reentrant (a delivery must not call back into
+  /// deliver_all; sends during delivery are fine and queue for the next
+  /// round).
+  std::size_t deliver_all(DeliverFn deliver);
 
   /// Flush messages scoped to `component` because it is about to partition
   /// into `side_a` and `side_b`: each message reaches its sender's side
@@ -55,12 +61,11 @@ class Network {
   /// queued messages are untouched.
   void flush_for_partition(const ProcessSet& component,
                            const ProcessSet& side_a, const ProcessSet& side_b,
-                           const DeliverFn& deliver,
-                           const CrossDeliveryFn& crosses);
+                           DeliverFn deliver, CrossDeliveryFn crosses);
 
   /// Flush messages scoped to `component` (about to merge) to their full
   /// scope.  Other queued messages are untouched.
-  void flush_for_merge(const ProcessSet& component, const DeliverFn& deliver);
+  void flush_for_merge(const ProcessSet& component, DeliverFn deliver);
 
   bool idle() const { return in_flight_.empty(); }
   std::size_t in_flight_count() const { return in_flight_.size(); }
@@ -77,9 +82,16 @@ class Network {
   };
 
   static void deliver_to(const Multicast& m, const ProcessSet& recipients,
-                         const DeliverFn& deliver);
+                         DeliverFn deliver);
 
   std::vector<Multicast> in_flight_;
+  /// Round-delivery staging: deliver_all swaps in_flight_ here so sends
+  /// triggered by deliveries queue for the next round.  Keeping the buffer
+  /// as a member preserves its capacity across rounds, making the steady
+  /// state allocation-free.  Always empty between calls.
+  std::vector<Multicast> batch_scratch_;  // dvlint: transient(empty between rounds)
+  /// Same idea for the flush paths' surviving-message rebuild.
+  std::vector<Multicast> kept_scratch_;  // dvlint: transient(empty between flushes)
 };
 
 }  // namespace dynvote

@@ -29,6 +29,8 @@ std::string_view to_string(CheckId check) {
       return "layering";
     case CheckId::kDecodeThrow:
       return "decode-throw";
+    case CheckId::kAtomicFold:
+      return "atomic-fold";
   }
   return "unknown";
 }
@@ -308,6 +310,67 @@ void check_determinism(const std::vector<ParsedFile>& files,
 }
 
 // ---------------------------------------------------------------------------
+// Check 5: atomic counters read inside stats folds
+//
+// Sharded sweeps fold per-shard counters after the worker pool joins; by
+// that point every counter the fold reads is a plain value.  A merge/fold
+// body reading a std::atomic field suggests the fold runs concurrently with
+// the counter's writers -- exactly the cross-shard race the barrier exists
+// to rule out -- or that a counter which never needed atomicity is paying
+// for it on the hot path.
+
+void check_atomic_fold(const std::vector<ParsedFile>& files,
+                       std::vector<Finding>& findings) {
+  // Atomic field names are collected repo-wide, like unordered ones: a
+  // member declared in a header is read from the implementation file.
+  std::set<std::string, std::less<>> atomic_fields;
+  for (const ParsedFile& pf : files) {
+    for (const ClassDecl& cls : pf.classes) {
+      for (const FieldDecl& field : cls.fields) {
+        if (field.atomic) atomic_fields.insert(field.name);
+      }
+    }
+  }
+  if (atomic_fields.empty()) return;
+
+  for (const ParsedFile& pf : files) {
+    if (!result_affecting(top_dir(pf.source->rel_path))) continue;
+    const SourceFile& src = *pf.source;
+    for (const auto* table : {&pf.inline_bodies, &pf.out_of_line}) {
+      for (const auto& [key, bodies] : *table) {
+        const std::string& method = key.second;
+        if (method.find("merge") == std::string::npos &&
+            method.find("fold") == std::string::npos) {
+          continue;
+        }
+        for (const MethodBody& body : bodies) {
+          const std::string_view text =
+              std::string_view(src.code)
+                  .substr(body.begin, body.end - body.begin);
+          for (const Token& t : tokenize(text)) {
+            if (!t.is_ident() || atomic_fields.count(t.text) == 0) continue;
+            const std::size_t line = src.line_of(body.begin + t.offset);
+            if (ignored(src, line, CheckId::kAtomicFold)) continue;
+            Finding f;
+            f.check = CheckId::kAtomicFold;
+            f.file = src.rel_path;
+            f.line = line;
+            f.detail = std::string(t.text);
+            f.message =
+                "stats fold '" + key.first + "::" + method +
+                "' reads std::atomic field '" + std::string(t.text) +
+                "'; folds run after the merge barrier on plain counters -- "
+                "copy the value out first, or annotate '// dvlint: "
+                "ignore(atomic-fold)' where the caller joins the writers";
+            findings.push_back(std::move(f));
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Check 3: include layering
 
 void check_layering(const std::vector<ParsedFile>& files,
@@ -424,6 +487,7 @@ LintReport run_lint(const LintOptions& options) {
   check_determinism(parsed, findings);
   check_layering(parsed, findings);
   check_decode_throw(parsed, findings);
+  check_atomic_fold(parsed, findings);
 
   LintReport report;
   report.files_scanned = parsed.size();

@@ -30,6 +30,14 @@
 //                          decode_body) uses DV_ASSERT/DV_REQUIRE instead
 //                          of throwing DecodeError: malformed snapshot
 //                          bytes are input errors, never assertions.
+//   atomic-fold            a merge/fold method body in a result-affecting
+//                          directory reads a std::atomic field.  Shard
+//                          results fold after a join barrier, at which
+//                          point every counter is a plain value; reading
+//                          a live atomic inside the fold suggests it races
+//                          its writers.  Opt-out: `// dvlint:
+//                          ignore(atomic-fold)` where the caller
+//                          establishes the barrier.
 //
 // Any finding can also be silenced with `// dvlint: ignore(<check-id>)` on
 // (or immediately above) the offending line, or via a suppression file of
@@ -47,6 +55,7 @@ enum class CheckId {
   kDeterminism,
   kLayering,
   kDecodeThrow,
+  kAtomicFold,
 };
 
 /// Stable kebab-case name used in output, annotations and suppressions.

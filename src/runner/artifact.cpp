@@ -63,6 +63,16 @@ void case_json(JsonWriter& json, const CaseOutcome& outcome,
   if (include_volatile) {
     json.key("compute_seconds").value(outcome.compute_seconds);
     json.key("runs_per_sec").value(outcome.runs_per_sec);
+    json.key("rounds_per_sec").value(outcome.rounds_per_sec);
+    // total_deliveries is deterministic, but it lives in the volatile
+    // block with its rate: adding it to the results document would move
+    // every pre-existing fingerprint for unchanged simulation results.
+    json.key("total_deliveries").value(r.total_deliveries);
+    json.key("deliveries_per_sec").value(outcome.deliveries_per_sec);
+    if (outcome.steady_allocs_per_round >= 0.0) {
+      json.key("steady_allocs_per_round")
+          .value(outcome.steady_allocs_per_round);
+    }
     json.key("shards").value(static_cast<std::uint64_t>(outcome.shards));
     json.key("steals").value(static_cast<std::uint64_t>(outcome.steals));
   }
@@ -89,7 +99,7 @@ std::string manifest_results_json(const SweepSpec& spec,
 
   JsonWriter json;
   json.begin_object();
-  json.key("schema").value(kSweepManifestSchema);
+  json.key("schema").value(kSweepResultsSchema);
   json.key("sweep").value(spec.name);
   json.key("total_runs").value(total_runs);
   json.key("cases").begin_array();
@@ -139,7 +149,8 @@ std::string manifest_json(const SweepSpec& spec, const SweepResult& result) {
   return json.str();
 }
 
-std::string write_manifest(const SweepSpec& spec, const SweepResult& result) {
+std::string write_artifact_document(const std::string& filename,
+                                    const std::string& document) {
   std::string dir = env_string("DV_ARTIFACT_DIR").value_or("artifacts");
   if (dir == "none" || dir == "off" || dir == "0") return "";
 
@@ -150,18 +161,25 @@ std::string write_manifest(const SweepSpec& spec, const SweepResult& result) {
     return "";
   }
 
-  const std::string path = dir + "/BENCH_" + spec.name + ".json";
+  const std::string path = dir + "/" + filename;
   std::ofstream out(path);
   if (!out) {
-    DV_LOG_WARN("cannot write sweep manifest " << path);
+    DV_LOG_WARN("cannot write artifact " << path);
     return "";
   }
-  out << manifest_json(spec, result) << '\n';
+  out << document << '\n';
   if (!out.good()) {
-    DV_LOG_WARN("short write on sweep manifest " << path);
+    DV_LOG_WARN("short write on artifact " << path);
     return "";
   }
   return path;
 }
+
+std::string write_manifest(const SweepSpec& spec, const SweepResult& result) {
+  return write_artifact_document("BENCH_" + spec.name + ".json",
+                                 manifest_json(spec, result));
+}
+
+const char* artifact_git_describe() { return DV_GIT_DESCRIBE; }
 
 }  // namespace dynvote

@@ -9,9 +9,9 @@
 // the repo: comparing two manifests of the same sweep across commits shows
 // both statistical drift and speed drift.
 //
-// Layout (schema "dynvote.sweep.v2"):
+// Layout (schema "dynvote.sweep.v3"):
 //   {
-//     "schema": "dynvote.sweep.v2",
+//     "schema": "dynvote.sweep.v3",
 //     "sweep": "<name>", "created_unix": ..., "git_describe": "...",
 //     "jobs": N, "wall_seconds": ..., "total_runs": ...,
 //     "results_fingerprint": "<hex>",
@@ -27,16 +27,28 @@
 //                           "total_message_bytes": ..},
 //                  "invariant_checks": .., "total_rounds": ..,
 //                  "total_changes": .., "compute_seconds": ..,
-//                  "runs_per_sec": .., "shards": .., "steals": .. }, ... ]
+//                  "runs_per_sec": .., "rounds_per_sec": ..,
+//                  "total_deliveries": .., "deliveries_per_sec": ..,
+//                  "steady_allocs_per_round": ..,   <- only when the
+//                                counting allocator is linked (see
+//                                util/alloc_stats.hpp)
+//                  "shards": .., "steals": .. }, ... ]
 //   }
 //
+// v3 adds the perf telemetry block (rounds_per_sec, total_deliveries,
+// deliveries_per_sec, steady_allocs_per_round) to each case.
+//
 // Everything timing- or scheduling-flavored (created_unix, git_describe,
-// jobs, wall_seconds, compute_seconds, runs_per_sec, shards, steals) is
-// legitimately volatile between reruns.  The deterministic remainder is
-// exposed separately as `manifest_results_json`, whose bytes must be
-// identical for any DV_JOBS / shard sizing / scheduling, and whose hash is
-// stamped into the full manifest as "results_fingerprint" so two manifests
-// can be compared for statistical drift at a glance.
+// jobs, wall_seconds, compute_seconds, the per-sec rates, allocation
+// telemetry, shards, steals) is legitimately volatile between reruns.  The
+// deterministic remainder is exposed separately as `manifest_results_json`,
+// whose bytes must be identical for any DV_JOBS / shard sizing /
+// scheduling, and whose hash is stamped into the full manifest as
+// "results_fingerprint" so two manifests can be compared for statistical
+// drift at a glance.  That results document is pinned to its own schema
+// string ("dynvote.sweep.v2", the layout it has had since v2) precisely so
+// a manifest-layout bump like v3 -- which only adds volatile telemetry --
+// cannot move the fingerprint of unchanged simulation results.
 #pragma once
 
 #include <string>
@@ -46,7 +58,13 @@
 namespace dynvote {
 
 /// Schema identifier stamped into every manifest; bump on layout changes.
-inline constexpr const char* kSweepManifestSchema = "dynvote.sweep.v2";
+inline constexpr const char* kSweepManifestSchema = "dynvote.sweep.v3";
+
+/// Schema identifier embedded in the deterministic results document that
+/// `results_fingerprint` hashes.  Deliberately NOT bumped with the
+/// manifest schema: its layout is unchanged since v2, and keeping the
+/// string fixed keeps fingerprints comparable across manifest versions.
+inline constexpr const char* kSweepResultsSchema = "dynvote.sweep.v2";
 
 /// Render the manifest document for a finished sweep.
 std::string manifest_json(const SweepSpec& spec, const SweepResult& result);
@@ -68,5 +86,18 @@ std::string results_fingerprint(const SweepSpec& spec,
 /// returning "").  Failures warn and return "" -- a sweep's results are
 /// never discarded because a disk write failed.
 std::string write_manifest(const SweepSpec& spec, const SweepResult& result);
+
+/// Write `document` (a newline is appended) to `<artifact dir>/<filename>`
+/// under the same DV_ARTIFACT_DIR discipline as `write_manifest`.  Returns
+/// the path written, or "" when artifacts are disabled or the write
+/// failed (failures warn, they never throw).  Other emitters -- the
+/// microbenchmark manifest, notably -- share this so every artifact obeys
+/// the one environment knob.
+std::string write_artifact_document(const std::string& filename,
+                                    const std::string& document);
+
+/// The `git describe` string baked into this build ("unknown" when the
+/// build was configured outside a git checkout).
+const char* artifact_git_describe();
 
 }  // namespace dynvote

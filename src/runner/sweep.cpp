@@ -8,9 +8,11 @@
 #include <sstream>
 #include <thread>
 
+#include "gcs/gcs.hpp"
 #include "runner/artifact.hpp"
 #include "runner/thread_pool.hpp"
 #include "sim/table.hpp"
+#include "util/alloc_stats.hpp"
 #include "util/assert.hpp"
 #include "util/env.hpp"
 
@@ -39,6 +41,47 @@ std::uint64_t shard_size_for(std::uint64_t runs, std::size_t jobs,
   const std::uint64_t floor = shard_floor(min_shard_runs);
   const std::uint64_t target = runs / (static_cast<std::uint64_t>(jobs) * 4);
   return std::max(floor, target);
+}
+
+/// Steady-state allocation rate of the round loop for this case's
+/// algorithm at its process count.  A probe world is warmed through a few
+/// partition/merge cycles (so every pooled buffer reaches capacity), then
+/// only the step_round sections of further cycles are measured -- the same
+/// slice of work BM_ProtocolRound times.  Needs the counting allocator
+/// (dv_alloc_hook) linked into the binary; returns a negative sentinel
+/// when it is not, or when the case cannot partition.
+double probe_steady_allocs_per_round(const CaseSpec& cs) {
+  if (!alloc_hook_linked() || cs.processes < 2) return -1.0;
+
+  Gcs gcs = cs.algorithm_factory != nullptr
+                ? Gcs(cs.algorithm_factory, cs.processes)
+                : Gcs(cs.algorithm, cs.processes);
+  ProcessSet lower_half(cs.processes);
+  for (ProcessId p = 0; p < cs.processes / 2; ++p) lower_half.insert(p);
+
+  std::uint64_t measured_allocs = 0;
+  std::uint64_t measured_rounds = 0;
+  const auto settle = [&](bool measure) {
+    const std::uint64_t before = thread_allocations();
+    std::uint64_t rounds = 0;
+    while (gcs.step_round() && rounds < 1000) ++rounds;
+    if (measure) {
+      measured_allocs += thread_allocations() - before;
+      measured_rounds += rounds;
+    }
+  };
+  constexpr int kWarmupCycles = 8;
+  constexpr int kMeasuredCycles = 4;
+  for (int cycle = 0; cycle < kWarmupCycles + kMeasuredCycles; ++cycle) {
+    const bool measure = cycle >= kWarmupCycles;
+    gcs.apply_partition(0, lower_half);
+    settle(measure);
+    gcs.apply_merge(0, 1);
+    settle(measure);
+  }
+  if (measured_rounds == 0) return -1.0;
+  return static_cast<double>(measured_allocs) /
+         static_cast<double>(measured_rounds);
 }
 
 }  // namespace
@@ -178,10 +221,17 @@ SweepResult run_sweep(const SweepSpec& spec) {
       }
     }
     outcome.compute_seconds = state.compute_seconds;
-    outcome.runs_per_sec =
-        outcome.compute_seconds > 0.0
-            ? static_cast<double>(outcome.result.runs) / outcome.compute_seconds
-            : 0.0;
+    if (outcome.compute_seconds > 0.0) {
+      outcome.runs_per_sec =
+          static_cast<double>(outcome.result.runs) / outcome.compute_seconds;
+      outcome.rounds_per_sec = static_cast<double>(outcome.result.total_rounds) /
+                               outcome.compute_seconds;
+      outcome.deliveries_per_sec =
+          static_cast<double>(outcome.result.total_deliveries) /
+          outcome.compute_seconds;
+    }
+    outcome.steady_allocs_per_round =
+        probe_steady_allocs_per_round(outcome.spec);
 
     CaseTelemetry telemetry;
     telemetry.label = case_label(spec.cases[case_index]);

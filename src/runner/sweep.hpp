@@ -67,6 +67,15 @@ struct CaseOutcome {
   /// replay -- i.e. its cost, regardless of how many workers shared it.
   double compute_seconds = 0.0;
   double runs_per_sec = 0.0;
+  /// Simulation throughput over the same compute time: message rounds and
+  /// (message, recipient) deliveries executed per second.
+  double rounds_per_sec = 0.0;
+  double deliveries_per_sec = 0.0;
+  /// Steady-state heap allocations per message round, measured by a small
+  /// warmed-up probe world after the case finishes.  Requires the counting
+  /// allocator (dv_alloc_hook) to be linked into the binary; negative when
+  /// it is not (the manifest then omits the field).
+  double steady_allocs_per_round = -1.0;
   /// Result-producing work units this case was executed as (1 = serial).
   std::size_t shards = 0;
   /// Times a unit of this case was claimed by a different worker than the

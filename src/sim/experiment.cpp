@@ -37,7 +37,8 @@ SimulationConfig config_for(const CaseSpec& spec, std::uint64_t seed) {
 /// long-lived simulation), so per-case aggregation -- including
 /// `wire.max_message_bytes` -- is byte-for-byte the same shape in both.
 void fold_run_counters(CaseResult& result, const Simulation& sim,
-                       WireStats& prev_wire, std::uint64_t& prev_checks) {
+                       WireStats& prev_wire, std::uint64_t& prev_checks,
+                       std::uint64_t& prev_deliveries) {
   const WireStats& now = sim.gcs().wire_stats();
   WireStats delta;
   delta.messages_sent = now.messages_sent - prev_wire.messages_sent;
@@ -51,6 +52,9 @@ void fold_run_counters(CaseResult& result, const Simulation& sim,
 
   result.invariant_checks += sim.invariant_checks() - prev_checks;
   prev_checks = sim.invariant_checks();
+
+  result.total_deliveries += sim.gcs().deliveries() - prev_deliveries;
+  prev_deliveries = sim.gcs().deliveries();
 }
 
 }  // namespace
@@ -73,7 +77,8 @@ CaseResult run_case_shard(const CaseSpec& spec, std::uint64_t first_run,
     result.record(sim.run_once());
     WireStats prev_wire;
     std::uint64_t prev_checks = 0;
-    fold_run_counters(result, sim, prev_wire, prev_checks);
+    std::uint64_t prev_deliveries = 0;
+    fold_run_counters(result, sim, prev_wire, prev_checks, prev_deliveries);
   }
   return result;
 }
@@ -132,9 +137,10 @@ CaseResult run_cascading_shard(const CaseSpec& spec,
   // yields exactly this shard's per-run delta.
   WireStats prev_wire = sim.gcs().wire_stats();
   std::uint64_t prev_checks = sim.invariant_checks();
+  std::uint64_t prev_deliveries = sim.gcs().deliveries();
   for (std::uint64_t i = 0; i < count; ++i) {
     result.record(sim.run_once());
-    fold_run_counters(result, sim, prev_wire, prev_checks);
+    fold_run_counters(result, sim, prev_wire, prev_checks, prev_deliveries);
   }
   return result;
 }

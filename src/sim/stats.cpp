@@ -62,6 +62,7 @@ void CaseResult::merge(const CaseResult& shard) {
   total_rounds_with_primary += shard.total_rounds_with_primary;
   wire.merge(shard.wire);
   invariant_checks += shard.invariant_checks;
+  total_deliveries += shard.total_deliveries;
 }
 
 double CaseResult::in_run_availability_percent() const {

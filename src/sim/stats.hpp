@@ -51,6 +51,9 @@ struct CaseResult {
   /// Safety-checker executions across all runs (observability: confirms
   /// the invariant checker actually ran, and how hard).
   std::uint64_t invariant_checks = 0;
+  /// (message, recipient) deliveries across all runs -- the denominator-free
+  /// half of the deliveries/sec throughput telemetry in sweep manifests.
+  std::uint64_t total_deliveries = 0;
 
   double availability_percent() const;
 

@@ -1,0 +1,62 @@
+// The counting allocator: replacement global operator new/delete that
+// increment the per-thread counter in util/alloc_stats.hpp.
+//
+// Built as the `dv_alloc_hook` OBJECT library so that linking it pulls
+// these replacements in unconditionally (archive semantics would silently
+// drop them unless some symbol here were referenced).  The static
+// initializer below is what flips alloc_hook_linked() to true.
+#include <cstdlib>
+#include <new>
+
+#include "util/alloc_stats.hpp"
+
+namespace {
+
+[[maybe_unused]] const bool g_hook_marker = [] {
+  dynvote::alloc_detail::mark_hook_linked();
+  return true;
+}();
+
+void* counted_alloc(std::size_t size) {
+  dynvote::alloc_detail::count_allocation();
+  if (size == 0) size = 1;
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t align) {
+  dynvote::alloc_detail::count_allocation();
+  if (align < sizeof(void*)) align = sizeof(void*);
+  void* p = nullptr;
+  if (posix_memalign(&p, align, size == 0 ? 1 : size) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+}  // namespace
+
+// The nothrow and placement forms are not replaced: the standard library's
+// defaults forward to these, so every counted path stays counted.
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}

@@ -1,0 +1,24 @@
+#include "util/alloc_stats.hpp"
+
+namespace dynvote {
+
+namespace {
+// Zero-initialized trivial TLS: safe to touch from operator new even during
+// early startup (no dynamic initialization involved).
+thread_local std::uint64_t t_allocations = 0;
+bool g_hook_linked = false;
+}  // namespace
+
+std::uint64_t thread_allocations() { return t_allocations; }
+
+bool alloc_hook_linked() { return g_hook_linked; }
+
+namespace alloc_detail {
+
+void count_allocation() noexcept { ++t_allocations; }
+
+void mark_hook_linked() noexcept { g_hook_linked = true; }
+
+}  // namespace alloc_detail
+
+}  // namespace dynvote

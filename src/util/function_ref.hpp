@@ -1,0 +1,71 @@
+// A lightweight non-owning callable reference (two words: object pointer +
+// trampoline), replacing std::function in the simulation hot path.
+//
+// std::function is the wrong tool for the network's delivery callbacks: it
+// may heap-allocate on construction, costs an indirect call through a
+// vtable-ish dispatch, and its type-erased storage is rebuilt every time a
+// lambda is wrapped.  Every callback the simulator passes is invoked
+// strictly within the lifetime of the callable it wraps, so a non-owning
+// reference is sufficient -- and it is guaranteed allocation-free.
+//
+// Lifetime contract: a FunctionRef never extends the life of what it wraps.
+// Bind temporaries only as call arguments (the temporary outlives the full
+// expression); never store a FunctionRef built from a temporary in a
+// variable or member.  For callables that must outlive a call site, bind a
+// named lvalue or a plain function pointer (function pointers have static
+// lifetime and are always safe).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace dynvote {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  /// A null reference; calling it is undefined.  Exists so callbacks can be
+  /// optional parameters (`crosses = nullptr`) tested with operator bool.
+  FunctionRef() = default;
+  FunctionRef(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  /// Wrap a plain function pointer (static lifetime: always safe to store).
+  FunctionRef(R (*fn)(Args...)) noexcept  // NOLINT(google-explicit-constructor)
+      : obj_(reinterpret_cast<void*>(fn)),
+        call_([](void* obj, Args... args) -> R {
+          return reinterpret_cast<R (*)(Args...)>(obj)(
+              std::forward<Args>(args)...);
+        }) {}
+
+  /// Wrap any callable lvalue or temporary.  The referenced object must
+  /// outlive every invocation (see the lifetime contract above).
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                !std::is_pointer_v<std::remove_cvref_t<F>> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f) noexcept  // NOLINT(google-explicit-constructor)
+      : obj_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const { return call_ != nullptr; }
+
+ private:
+  void* obj_ = nullptr;
+  R (*call_)(void*, Args...) = nullptr;
+};
+
+}  // namespace dynvote

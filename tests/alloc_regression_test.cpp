@@ -1,0 +1,87 @@
+// The allocation-free hot path, enforced: with the counting allocator
+// linked, warmed-up steady-state protocol rounds at n=64 must perform ZERO
+// heap allocations.  This is the regression fence for the small-buffer
+// ProcessSet, the FunctionRef callbacks, the pooled round payloads and the
+// cursor-based outboxes -- reintroducing an allocation into any of them
+// fails this test with an exact count.
+//
+// This binary links dv_alloc_hook (see tests/CMakeLists.txt); if someone
+// builds it without the hook the test skips rather than vacuously passing.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/process_set.hpp"
+#include "gcs/gcs.hpp"
+#include "util/alloc_stats.hpp"
+
+namespace dynvote {
+namespace {
+
+constexpr std::size_t kProcesses = 64;
+constexpr int kWarmupCycles = 8;
+constexpr std::uint64_t kMinMeasuredRounds = 100;
+
+/// Run protocol rounds until quiet, counting only the step_round work.
+std::uint64_t settle(Gcs& gcs, std::uint64_t* allocs) {
+  std::uint64_t rounds = 0;
+  const std::uint64_t before = thread_allocations();
+  while (gcs.step_round() && rounds < 1000) ++rounds;
+  if (allocs != nullptr) *allocs += thread_allocations() - before;
+  return rounds;
+}
+
+TEST(AllocRegression, SteadyStateRoundsAreAllocationFreeAtN64) {
+  if (!alloc_hook_linked()) {
+    GTEST_SKIP() << "dv_alloc_hook not linked; allocation counts unavailable";
+  }
+
+  Gcs gcs(AlgorithmKind::kYkd, kProcesses);
+  ProcessSet lower_half(kProcesses);
+  for (ProcessId p = 0; p < kProcesses / 2; ++p) lower_half.insert(p);
+
+  // Warm-up: let every pooled payload, scratch vector and outbox reach its
+  // steady capacity.  Allocations here are expected and uncounted.
+  for (int cycle = 0; cycle < kWarmupCycles; ++cycle) {
+    gcs.apply_partition(0, lower_half);
+    settle(gcs, nullptr);
+    gcs.apply_merge(0, 1);
+    settle(gcs, nullptr);
+  }
+
+  // Measure: keep cycling partition/merge (the connectivity-change traffic
+  // the availability study simulates) until at least 100 protocol rounds
+  // ran under the counter.
+  std::uint64_t allocs = 0;
+  std::uint64_t rounds = 0;
+  while (rounds < kMinMeasuredRounds) {
+    gcs.apply_partition(0, lower_half);
+    rounds += settle(gcs, &allocs);
+    gcs.apply_merge(0, 1);
+    rounds += settle(gcs, &allocs);
+  }
+
+  EXPECT_GE(rounds, kMinMeasuredRounds);
+  EXPECT_EQ(allocs, 0u)
+      << "steady-state hot path allocated " << allocs << " times over "
+      << rounds << " rounds; the n<=128 round loop is supposed to be "
+      << "allocation-free";
+}
+
+/// The quiet case: rounds with no protocol traffic at all must obviously
+/// stay allocation-free too (this is the common case in low-rate sweeps).
+TEST(AllocRegression, QuiescentRoundsAreAllocationFree) {
+  if (!alloc_hook_linked()) {
+    GTEST_SKIP() << "dv_alloc_hook not linked; allocation counts unavailable";
+  }
+
+  Gcs gcs(AlgorithmKind::kYkd, kProcesses);
+  settle(gcs, nullptr);  // drain the initial view formation
+
+  const std::uint64_t before = thread_allocations();
+  for (int i = 0; i < 100; ++i) (void)gcs.step_round();
+  EXPECT_EQ(thread_allocations() - before, 0u);
+}
+
+}  // namespace
+}  // namespace dynvote

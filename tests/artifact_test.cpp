@@ -79,6 +79,53 @@ TEST(Json, ValidatorRejectsMalformedDocuments) {
   EXPECT_FALSE(json_is_valid("{\"a\":1} extra"));
 }
 
+TEST(Json, DomParserReadsScalarsContainersAndEscapes) {
+  const auto doc = json_parse(
+      "{\"s\":\"a\\n\\u0041\\u00e9\",\"n\":-2.5e2,\"b\":true,\"z\":null,"
+      "\"arr\":[1,{\"k\":2}]}");
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->is_object());
+  EXPECT_EQ(doc->find("s")->as_string(), "a\nA\xc3\xa9");
+  EXPECT_EQ(doc->find("n")->as_number(), -250.0);
+  EXPECT_TRUE(doc->find("b")->as_bool());
+  EXPECT_TRUE(doc->find("z")->is_null());
+  const JsonValue& arr = *doc->find("arr");
+  ASSERT_TRUE(arr.is_array());
+  ASSERT_EQ(arr.items().size(), 2u);
+  EXPECT_EQ(arr.items()[0].as_number(), 1.0);
+  EXPECT_EQ(arr.items()[1].number_or("k", -1.0), 2.0);
+  EXPECT_EQ(doc->find("missing"), nullptr);
+  EXPECT_EQ(doc->string_or("s", "?"), "a\nA\xc3\xa9");
+  EXPECT_EQ(doc->string_or("missing", "?"), "?");
+  EXPECT_EQ(doc->number_or("s", -1.0), -1.0);  // wrong kind -> fallback
+}
+
+TEST(Json, DomParserCombinesSurrogatePairs) {
+  const auto doc = json_parse("\"\\ud83d\\ude00\"");  // U+1F600
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->as_string(), "\xf0\x9f\x98\x80");
+}
+
+TEST(Json, DomParserRejectsWhatTheValidatorRejects) {
+  for (const char* bad :
+       {"", "{", "{]", "{\"a\":}", "{\"a\":1,}", "[1 2]", "01", "1.",
+        "\"unterminated", "nulll", "{\"a\":1} extra"}) {
+    EXPECT_FALSE(json_parse(bad).has_value()) << bad;
+  }
+}
+
+TEST(Json, DomParserRoundTripsWriterOutput) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("quote\"and\\slash").value("tab\there");
+  json.key("pi").value(3.14159);
+  json.end_object();
+  const auto doc = json_parse(json.str());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("quote\"and\\slash")->as_string(), "tab\there");
+  EXPECT_EQ(doc->find("pi")->as_number(), 3.14159);
+}
+
 SweepSpec tiny_sweep(const std::string& name) {
   SweepSpec sweep;
   sweep.name = name;
@@ -114,6 +161,23 @@ TEST(Artifact, NamedSweepWritesParseableVersionedManifest) {
   EXPECT_NE(doc.find("\"invariant_checks\""), std::string::npos);
   EXPECT_NE(doc.find("\"runs_per_sec\""), std::string::npos);
   EXPECT_NE(doc.find("\"total_runs\":24"), std::string::npos);
+
+  // Structured read-back through the DOM parser: the v3 perf telemetry
+  // must be present and sane on every case.
+  const auto parsed = json_parse(doc);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->string_or("schema", ""), kSweepManifestSchema);
+  EXPECT_FALSE(parsed->string_or("results_fingerprint", "").empty());
+  const JsonValue* cases = parsed->find("cases");
+  ASSERT_NE(cases, nullptr);
+  ASSERT_TRUE(cases->is_array());
+  ASSERT_EQ(cases->items().size(), 2u);
+  for (const JsonValue& c : cases->items()) {
+    EXPECT_GT(c.number_or("rounds_per_sec", -1.0), 0.0);
+    // simple-majority legitimately delivers nothing, so >= not >.
+    EXPECT_GE(c.number_or("deliveries_per_sec", -1.0), 0.0);
+    EXPECT_GE(c.number_or("total_deliveries", -1.0), 0.0);
+  }
 }
 
 TEST(Artifact, ManifestJsonCoversEveryCase) {

@@ -1,0 +1,23 @@
+// Fixture: the same fold shape with the join barrier established by the
+// caller; the documented annotation must silence the finding.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+class BarrieredShardStats {
+ public:
+  // The sweep joins every worker before calling merge(), so this read
+  // cannot race a writer.
+  void merge(const BarrieredShardStats& shard) {
+    total_ += shard.hits_.load();  // dvlint: ignore(atomic-fold)
+  }
+
+ private:
+  std::atomic<std::uint64_t> hits_{0};
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Fixture: a shard-stats fold that reads a live std::atomic counter.
+// Shard results merge after the worker pool joins, so fold inputs must be
+// plain values; dvlint must flag the atomic read inside merge().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+class RacyShardStats {
+ public:
+  void merge(const RacyShardStats& shard) {
+    total_ += shard.hits_.load();
+  }
+
+ private:
+  std::atomic<std::uint64_t> hits_{0};
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace fixture

@@ -90,6 +90,19 @@ TEST(LintFixtures, DecodePathAssertCaught) {
   EXPECT_NE(f.message.find("DecodeError"), std::string::npos);
 }
 
+TEST(LintFixtures, AtomicReadInsideFoldCaught) {
+  const LintReport report = lint_fixture("atomic_fold");
+  EXPECT_EQ(report.files_scanned, 2u);
+  ASSERT_EQ(report.findings.size(), 1u) << render_text(report);
+  const Finding& f = report.findings[0];
+  EXPECT_EQ(f.check, CheckId::kAtomicFold);
+  EXPECT_EQ(f.file, "sim/racy_fold.hpp");
+  EXPECT_EQ(f.detail, "hits_");
+  EXPECT_NE(f.message.find("merge barrier"), std::string::npos);
+  // The annotated twin (barriered_fold.hpp) must stay silent.
+  EXPECT_EQ(report.suppressed, 0u);
+}
+
 TEST(LintFixtures, SuppressionFileSilencesKnownFindings) {
   const std::vector<Suppression> suppressions =
       load_suppressions(fixture_root("suppressed") + "/suppressions.txt");

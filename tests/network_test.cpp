@@ -22,15 +22,22 @@ struct Delivery {
 
 class NetworkTest : public ::testing::Test {
  protected:
-  Network::DeliverFn recorder() {
-    return [this](ProcessId r, const Message& m, ProcessId s) {
+  // The network callbacks are non-owning (FunctionRef), so the recording
+  // callable must outlive the calls that use it: it lives in the fixture,
+  // and recorder() hands out references to it.
+  struct Recorder {
+    std::vector<Delivery>* log;
+    void operator()(ProcessId r, const Message& m, ProcessId s) const {
       std::string text(reinterpret_cast<const char*>(m.app_data.data()),
                        m.app_data.size());
-      log.push_back({r, s, text});
-    };
-  }
+      log->push_back({r, s, text});
+    }
+  };
+
+  Network::DeliverFn recorder() { return recorder_; }
 
   std::vector<Delivery> log;
+  Recorder recorder_{&log};
 };
 
 TEST_F(NetworkTest, DeliverAllReachesWholeScope) {

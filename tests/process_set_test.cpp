@@ -147,6 +147,80 @@ TEST(ProcessSet, DecodeRejectsImplausibleUniverse) {
   EXPECT_THROW(ProcessSet::decode(dec), DecodeError);
 }
 
+// The small-buffer boundary: universes up to kInlineWords * 64 = 128 ids
+// live entirely in the inline words; 129 is the first universe that spills
+// to the heap vector.  Everything observable -- algebra, compare, hash,
+// wire bytes -- must behave identically on both sides of the boundary.
+class ProcessSetSboBoundary : public testing::TestWithParam<std::size_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Universes, ProcessSetSboBoundary,
+                         testing::Values(64u, 65u, 128u, 129u));
+
+TEST_P(ProcessSetSboBoundary, AlgebraAtBoundary) {
+  const std::size_t n = GetParam();
+  ProcessSet evens(n), low_half(n);
+  for (ProcessId p = 0; p < n; ++p) {
+    if (p % 2 == 0) evens.insert(p);
+    if (p < n / 2) low_half.insert(p);
+  }
+  const ProcessSet both = evens.intersected_with(low_half);
+  const ProcessSet either = evens.united_with(low_half);
+  const ProcessSet odd_high = ProcessSet::full(n).minus(either);
+  EXPECT_EQ(either.count() + both.count(), evens.count() + low_half.count());
+  EXPECT_TRUE(both.is_subset_of(evens));
+  EXPECT_TRUE(both.is_subset_of(low_half));
+  EXPECT_FALSE(odd_high.intersects(either));
+  EXPECT_EQ(either.united_with(odd_high), ProcessSet::full(n));
+  // The last id exercises the top bit of the final word on every side.
+  const ProcessSet last(n, {static_cast<ProcessId>(n - 1)});
+  EXPECT_TRUE(last.is_subset_of(ProcessSet::full(n)));
+  EXPECT_EQ(ProcessSet::full(n).minus(last).count(), n - 1);
+}
+
+TEST_P(ProcessSetSboBoundary, CompareAndHashAtBoundary) {
+  const std::size_t n = GetParam();
+  const ProcessSet a(n, {0, static_cast<ProcessId>(n - 1)});
+  ProcessSet b(n);
+  b.insert(0);
+  b.insert(static_cast<ProcessId>(n - 1));
+  EXPECT_EQ(a.compare(b), 0);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+  b.erase(static_cast<ProcessId>(n - 1));
+  EXPECT_NE(a.compare(b), 0);
+  EXPECT_EQ(a.compare(b) < 0, b.compare(a) > 0);
+}
+
+TEST_P(ProcessSetSboBoundary, EncodeDecodeRoundTripAtBoundary) {
+  const std::size_t n = GetParam();
+  ProcessSet original(n);
+  for (ProcessId p = 0; p < n; p += 3) original.insert(p);
+  original.insert(static_cast<ProcessId>(n - 1));
+  Encoder enc;
+  original.encode(enc);
+  Decoder dec(enc.bytes());
+  const ProcessSet decoded = ProcessSet::decode(dec);
+  dec.finish();
+  EXPECT_EQ(decoded, original);
+  EXPECT_EQ(decoded.hash(), original.hash());
+  EXPECT_EQ(decoded.members(), original.members());
+}
+
+TEST_P(ProcessSetSboBoundary, MovedFromSetIsEmptyAndReusable) {
+  const std::size_t n = GetParam();
+  ProcessSet source = ProcessSet::full(n);
+  const ProcessSet copy = source;
+  ProcessSet moved = std::move(source);
+  EXPECT_EQ(moved, copy);
+  // The move constructor documents a reset source: no stale inline words
+  // may survive to alias the next value assigned into it.
+  EXPECT_EQ(source.count(), 0u);  // NOLINT(bugprone-use-after-move)
+  source = ProcessSet(n, {1});
+  EXPECT_EQ(source.count(), 1u);
+  EXPECT_TRUE(source.contains(1));
+  EXPECT_EQ(moved, copy);
+}
+
 TEST(ProcessSet, HashDistinguishesAndIsStable) {
   const ProcessSet a(64, {1, 2, 3});
   ProcessSet b(64, {1, 2});

@@ -34,12 +34,12 @@ inline std::size_t primary_member_count(const Gcs& gcs) {
   return n;
 }
 
-/// Cross-delivery policies for scripted partitions.
-inline Network::CrossDeliveryFn no_cross() {
-  return [](ProcessId) { return false; };
-}
-inline Network::CrossDeliveryFn all_cross() {
-  return [](ProcessId) { return true; };
-}
+/// Cross-delivery policies for scripted partitions.  The network callbacks
+/// are non-owning (FunctionRef), so these return pointers to functions with
+/// static lifetime rather than referencing a temporary lambda.
+inline bool never_cross(ProcessId) { return false; }
+inline bool always_cross(ProcessId) { return true; }
+inline Network::CrossDeliveryFn no_cross() { return &never_cross; }
+inline Network::CrossDeliveryFn all_cross() { return &always_cross; }
 
 }  // namespace dynvote::test

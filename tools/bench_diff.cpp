@@ -1,0 +1,221 @@
+// bench_diff: compare two run manifests (sweep or microbench) for drift.
+//
+//   bench_diff BASELINE.json CANDIDATE.json
+//
+// Sweep manifests ("dynvote.sweep.*") compare on results_fingerprint
+// first: identical fingerprints mean bit-identical simulation results, so
+// the tool skips straight to perf telemetry (runs/sec, rounds/sec,
+// deliveries/sec, steady-state allocations per round) and reports timing
+// drift informationally.  Differing fingerprints are a correctness event:
+// the tool diffs availability per case and exits non-zero so CI fails.
+//
+// Microbench manifests ("dynvote.microbench.v1") have no deterministic
+// payload -- they are all timing -- so bench_diff matches benchmarks by
+// name and reports per-iteration time drift, always exiting 0 (timing is
+// noisy; gate on fingerprints, watch the microbenches).
+//
+// Exit codes, CI-stable:
+//   0  fingerprints match (or informational microbench compare)
+//   1  results fingerprints differ
+//   2  usage, I/O, parse, or schema error
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "runner/json.hpp"
+
+namespace {
+
+using dynvote::JsonValue;
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0 << " BASELINE.json CANDIDATE.json\n";
+  return 2;
+}
+
+std::optional<JsonValue> load_manifest(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "bench_diff: cannot read " << path << "\n";
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::optional<JsonValue> doc = dynvote::json_parse(buf.str());
+  if (!doc || !doc->is_object()) {
+    std::cerr << "bench_diff: " << path << " is not a JSON object\n";
+    return std::nullopt;
+  }
+  return doc;
+}
+
+/// "+12.3%" / "-4.5%"; "n/a" when the baseline is zero or missing.
+std::string percent_delta(double baseline, double candidate) {
+  if (!(baseline > 0.0)) return "n/a";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%+.1f%%",
+                (candidate - baseline) / baseline * 100.0);
+  return buf;
+}
+
+/// Case coordinates, the join key between two sweeps of the same shape.
+std::string case_key(const JsonValue& c) {
+  std::ostringstream key;
+  key << c.string_or("algorithm", "?") << " p=" << c.number_or("processes", -1)
+      << " c=" << c.number_or("changes", -1) << " r=" << c.number_or("rate", -1)
+      << " " << c.string_or("mode", "?");
+  if (c.number_or("crash_fraction", 0.0) > 0.0) {
+    key << " crash=" << c.number_or("crash_fraction", 0.0);
+  }
+  return key.str();
+}
+
+const JsonValue* find_case(const JsonValue& manifest, const std::string& key) {
+  const JsonValue* cases = manifest.find("cases");
+  if (cases == nullptr || !cases->is_array()) return nullptr;
+  for (const JsonValue& c : cases->items()) {
+    if (case_key(c) == key) return &c;
+  }
+  return nullptr;
+}
+
+void perf_drift_line(const std::string& key, const JsonValue& base,
+                     const JsonValue& cand) {
+  std::cout << "  " << key << ": runs/sec "
+            << percent_delta(base.number_or("runs_per_sec", 0.0),
+                             cand.number_or("runs_per_sec", 0.0))
+            << ", rounds/sec "
+            << percent_delta(base.number_or("rounds_per_sec", 0.0),
+                             cand.number_or("rounds_per_sec", 0.0));
+  const double base_allocs = base.number_or("steady_allocs_per_round", -1.0);
+  const double cand_allocs = cand.number_or("steady_allocs_per_round", -1.0);
+  if (base_allocs >= 0.0 || cand_allocs >= 0.0) {
+    std::cout << ", steady allocs/round " << base_allocs << " -> "
+              << cand_allocs;
+  }
+  std::cout << "\n";
+}
+
+int diff_sweeps(const JsonValue& base, const JsonValue& cand) {
+  const std::string_view base_fp = base.string_or("results_fingerprint", "");
+  const std::string_view cand_fp = cand.string_or("results_fingerprint", "");
+  if (base_fp.empty() || cand_fp.empty()) {
+    std::cerr << "bench_diff: sweep manifest lacks results_fingerprint\n";
+    return 2;
+  }
+  if (base.string_or("sweep", "") != cand.string_or("sweep", "")) {
+    std::cerr << "bench_diff: comparing different sweeps ('"
+              << base.string_or("sweep", "?") << "' vs '"
+              << cand.string_or("sweep", "?") << "')\n";
+    return 2;
+  }
+
+  const JsonValue* base_cases = base.find("cases");
+  if (base_fp == cand_fp) {
+    // Fast path: bit-identical results, only speed can have moved.
+    std::cout << "results fingerprints match (" << base_fp << ")\n";
+    std::cout << "wall_seconds " << base.number_or("wall_seconds", 0.0)
+              << " -> " << cand.number_or("wall_seconds", 0.0) << " ("
+              << percent_delta(base.number_or("wall_seconds", 0.0),
+                               cand.number_or("wall_seconds", 0.0))
+              << ")\n";
+    if (base_cases != nullptr && base_cases->is_array()) {
+      for (const JsonValue& c : base_cases->items()) {
+        const std::string key = case_key(c);
+        const JsonValue* other = find_case(cand, key);
+        if (other != nullptr) perf_drift_line(key, c, *other);
+      }
+    }
+    return 0;
+  }
+
+  std::cout << "RESULTS FINGERPRINT MISMATCH: " << base_fp << " vs " << cand_fp
+            << "\n";
+  if (base_cases != nullptr && base_cases->is_array()) {
+    for (const JsonValue& c : base_cases->items()) {
+      const std::string key = case_key(c);
+      const JsonValue* other = find_case(cand, key);
+      if (other == nullptr) {
+        std::cout << "  " << key << ": missing from candidate\n";
+        continue;
+      }
+      const double base_avail = c.number_or("availability_percent", -1.0);
+      const double cand_avail = other->number_or("availability_percent", -1.0);
+      const double base_succ = c.number_or("successes", -1.0);
+      const double cand_succ = other->number_or("successes", -1.0);
+      if (base_avail != cand_avail || base_succ != cand_succ) {
+        std::cout << "  " << key << ": availability " << base_avail << "% -> "
+                  << cand_avail << "% (successes " << base_succ << " -> "
+                  << cand_succ << ")\n";
+      }
+    }
+    const JsonValue* cand_cases = cand.find("cases");
+    if (cand_cases != nullptr && cand_cases->is_array()) {
+      for (const JsonValue& c : cand_cases->items()) {
+        if (find_case(base, case_key(c)) == nullptr) {
+          std::cout << "  " << case_key(c) << ": missing from baseline\n";
+        }
+      }
+    }
+  }
+  return 1;
+}
+
+const JsonValue* find_benchmark(const JsonValue& manifest,
+                                const std::string& name) {
+  const JsonValue* benchmarks = manifest.find("benchmarks");
+  if (benchmarks == nullptr || !benchmarks->is_array()) return nullptr;
+  for (const JsonValue& b : benchmarks->items()) {
+    if (b.string_or("name", "") == name) return &b;
+  }
+  return nullptr;
+}
+
+int diff_microbench(const JsonValue& base, const JsonValue& cand) {
+  const JsonValue* benchmarks = base.find("benchmarks");
+  if (benchmarks == nullptr || !benchmarks->is_array()) {
+    std::cerr << "bench_diff: microbench manifest lacks benchmarks array\n";
+    return 2;
+  }
+  std::cout << "microbench timing drift (informational; never gates):\n";
+  for (const JsonValue& b : benchmarks->items()) {
+    const std::string name(b.string_or("name", "?"));
+    const JsonValue* other = find_benchmark(cand, name);
+    if (other == nullptr) {
+      std::cout << "  " << name << ": missing from candidate\n";
+      continue;
+    }
+    const double base_ns = b.number_or("real_ns", 0.0);
+    const double cand_ns = other->number_or("real_ns", 0.0);
+    std::cout << "  " << name << ": " << base_ns << " ns -> " << cand_ns
+              << " ns (" << percent_delta(base_ns, cand_ns) << ")\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) return usage(argv[0]);
+  const std::optional<JsonValue> base = load_manifest(argv[1]);
+  const std::optional<JsonValue> cand = load_manifest(argv[2]);
+  if (!base || !cand) return 2;
+
+  const std::string_view base_schema = base->string_or("schema", "");
+  const std::string_view cand_schema = cand->string_or("schema", "");
+  const bool base_sweep = base_schema.substr(0, 14) == "dynvote.sweep.";
+  const bool cand_sweep = cand_schema.substr(0, 14) == "dynvote.sweep.";
+  const bool base_micro = base_schema.substr(0, 19) == "dynvote.microbench.";
+  const bool cand_micro = cand_schema.substr(0, 19) == "dynvote.microbench.";
+
+  if (base_sweep && cand_sweep) return diff_sweeps(*base, *cand);
+  if (base_micro && cand_micro) return diff_microbench(*base, *cand);
+  std::cerr << "bench_diff: incomparable schemas '" << base_schema << "' vs '"
+            << cand_schema << "'\n";
+  return 2;
+}
