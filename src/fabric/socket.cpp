@@ -1,0 +1,241 @@
+#include "fabric/socket.hpp"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace dynvote::fabric {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw SocketError(what + ": " + std::strerror(errno));
+}
+
+// Loop a recv until `n` bytes arrive.  `start_of_frame` distinguishes a
+// clean shutdown (EOF before any byte of the length prefix) from a
+// truncated frame (EOF anywhere else).
+bool recv_exact(int fd, std::byte* out, std::size_t n, bool start_of_frame) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, out + got, n - got, 0);
+    if (r > 0) {
+      got += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r == 0) {
+      if (start_of_frame && got == 0) return false;  // clean EOF
+      throw SocketError("connection closed mid-frame");
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      throw SocketTimeout("receive deadline expired");
+    }
+    throw_errno("recv");
+  }
+  return true;
+}
+
+}  // namespace
+
+Socket::Socket(Socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+Socket::~Socket() { close(); }
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::shutdown_both() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::set_recv_timeout_ms(std::uint64_t ms) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    throw_errno("setsockopt(SO_RCVTIMEO)");
+  }
+}
+
+void Socket::send_frame(std::span<const std::byte> payload) {
+  if (payload.size() > UINT32_MAX) {
+    throw SocketError("frame payload exceeds 32-bit length prefix");
+  }
+  const std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+  std::byte prefix[4];
+  prefix[0] = static_cast<std::byte>(n & 0xFF);
+  prefix[1] = static_cast<std::byte>((n >> 8) & 0xFF);
+  prefix[2] = static_cast<std::byte>((n >> 16) & 0xFF);
+  prefix[3] = static_cast<std::byte>((n >> 24) & 0xFF);
+
+  const auto send_all = [this](const std::byte* data, std::size_t len) {
+    std::size_t sent = 0;
+    while (sent < len) {
+      const ssize_t r = ::send(fd_, data + sent, len - sent, MSG_NOSIGNAL);
+      if (r >= 0) {
+        sent += static_cast<std::size_t>(r);
+        continue;
+      }
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+  };
+  send_all(prefix, sizeof(prefix));
+  send_all(payload.data(), payload.size());
+}
+
+std::optional<std::vector<std::byte>> Socket::recv_frame(
+    std::size_t max_bytes) {
+  std::byte prefix[4];
+  if (!recv_exact(fd_, prefix, sizeof(prefix), /*start_of_frame=*/true)) {
+    return std::nullopt;
+  }
+  const std::uint32_t n = static_cast<std::uint32_t>(prefix[0]) |
+                          (static_cast<std::uint32_t>(prefix[1]) << 8) |
+                          (static_cast<std::uint32_t>(prefix[2]) << 16) |
+                          (static_cast<std::uint32_t>(prefix[3]) << 24);
+  if (n > max_bytes) {
+    throw SocketError("frame length prefix of " + std::to_string(n) +
+                      " bytes exceeds cap of " + std::to_string(max_bytes));
+  }
+  std::vector<std::byte> payload(n);
+  recv_exact(fd_, payload.data(), payload.size(), /*start_of_frame=*/false);
+  return payload;
+}
+
+Socket connect_to(const std::string& host, std::uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string service = std::to_string(port);
+  const int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &res);
+  if (rc != 0) {
+    throw SocketError("resolve '" + host + "': " + ::gai_strerror(rc));
+  }
+
+  int last_errno = 0;
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_errno = errno;
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      ::freeaddrinfo(res);
+      return Socket(fd);
+    }
+    last_errno = errno;
+    ::close(fd);
+  }
+  ::freeaddrinfo(res);
+  errno = last_errno;
+  throw_errno("connect to " + host + ":" + service);
+}
+
+Listener::Listener(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("bind port " + std::to_string(port));
+  }
+  if (::listen(fd_, SOMAXCONN) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("listen");
+  }
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+}
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      port_(std::exchange(other.port_, std::uint16_t{0})) {}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    port_ = std::exchange(other.port_, std::uint16_t{0});
+  }
+  return *this;
+}
+
+Listener::~Listener() { close(); }
+
+void Listener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::optional<Socket> Listener::accept(int timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready < 0) {
+    if (errno == EINTR) return std::nullopt;
+    throw_errno("poll");
+  }
+  if (ready == 0) return std::nullopt;
+
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EINTR || errno == ECONNABORTED) return std::nullopt;
+    throw_errno("accept");
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Socket(fd);
+}
+
+}  // namespace dynvote::fabric

@@ -1,0 +1,112 @@
+// Minimal POSIX TCP wrapper for the sweep fabric.
+//
+// One framing rule: every message on the wire is a 32-bit little-endian
+// payload length followed by that many payload bytes (the payload itself
+// is a fabric frame, wire.hpp).  The length is checked against a caller
+// cap before any allocation, so a corrupt peer cannot size a buffer.
+//
+// Error model: SocketError for transport failures, SocketTimeout (a
+// subclass) when a receive deadline set via set_recv_timeout_ms expires
+// -- the coordinator uses that deadline as its worker-death detector --
+// and std::nullopt from recv_frame for a clean peer shutdown.  Nothing
+// here retries; policy lives in the coordinator and worker.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dynvote::fabric {
+
+class SocketError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A receive deadline (set_recv_timeout_ms) expired with no bytes read.
+class SocketTimeout : public SocketError {
+ public:
+  using SocketError::SocketError;
+};
+
+/// Move-only owner of one connected TCP stream.
+class Socket {
+ public:
+  Socket() = default;
+  /// Adopts `fd` (takes ownership; -1 means "no socket").
+  explicit Socket(int fd) : fd_(fd) {}
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  ~Socket();
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Close now (idempotent).  Only the thread that owns the socket's
+  /// lifetime may call this; use shutdown_both() to unblock a reader from
+  /// another thread.
+  void close();
+
+  /// Half-close both directions without releasing the descriptor: a
+  /// thread blocked in recv on this socket wakes with EOF/SocketError.
+  /// This is the only cross-thread operation the fabric performs on a
+  /// socket (closing from another thread would race with the reader).
+  void shutdown_both();
+
+  /// After this, a recv that sees no bytes for `ms` throws SocketTimeout.
+  /// 0 restores "block forever".
+  void set_recv_timeout_ms(std::uint64_t ms);
+
+  /// Send one length-prefixed frame.  Blocks until fully written; throws
+  /// SocketError if the peer is gone (no SIGPIPE).
+  void send_frame(std::span<const std::byte> payload);
+
+  /// Receive one length-prefixed frame of at most `max_bytes` payload.
+  /// Returns nullopt when the peer shut down cleanly between frames;
+  /// throws SocketTimeout on a receive deadline, SocketError on anything
+  /// else (including EOF mid-frame and an oversized length prefix).
+  std::optional<std::vector<std::byte>> recv_frame(std::size_t max_bytes);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Connect to `host:port` (numeric or resolvable name).  Throws
+/// SocketError on failure; retry/backoff policy belongs to the caller.
+Socket connect_to(const std::string& host, std::uint16_t port);
+
+/// Listening TCP socket.  accept() takes a poll timeout so the accept
+/// loop can observe a stop flag without closing the listener from
+/// another thread.
+class Listener {
+ public:
+  /// Binds and listens on all interfaces.  `port` 0 picks an ephemeral
+  /// port; read the actual one back via port().
+  explicit Listener(std::uint16_t port);
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+  ~Listener();
+
+  std::uint16_t port() const { return port_; }
+
+  /// Wait up to `timeout_ms` for a connection.  Returns the accepted
+  /// socket, or nullopt on timeout; throws SocketError if the listener
+  /// itself fails.
+  std::optional<Socket> accept(int timeout_ms);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace dynvote::fabric

@@ -1,0 +1,247 @@
+#include "fabric/wire.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace dynvote::fabric {
+
+namespace {
+
+// Doubles travel as their IEEE-754 bit pattern in a fixed little-endian
+// word: exact round-trip, no locale or formatting in the loop.
+void put_double(Encoder& enc, double value) {
+  enc.put_u64_fixed(std::bit_cast<std::uint64_t>(value));
+}
+
+double get_double(Decoder& dec) {
+  return std::bit_cast<double>(dec.get_u64_fixed());
+}
+
+AlgorithmKind algorithm_from_wire(std::uint8_t raw) {
+  if (raw > static_cast<std::uint8_t>(AlgorithmKind::kMr1p)) {
+    throw DecodeError("unknown algorithm kind " + std::to_string(raw) +
+                      " in case descriptor");
+  }
+  return static_cast<AlgorithmKind>(raw);
+}
+
+RunMode mode_from_wire(std::uint8_t raw) {
+  if (raw > static_cast<std::uint8_t>(RunMode::kCascading)) {
+    throw DecodeError("unknown run mode " + std::to_string(raw) +
+                      " in case descriptor");
+  }
+  return static_cast<RunMode>(raw);
+}
+
+}  // namespace
+
+void CaseDescriptor::encode_body(Encoder& enc,
+                                 std::uint64_t /*version*/) const {
+  if (spec.algorithm_factory) {
+    // A std::function cannot travel; the coordinator refuses such sweeps
+    // before any worker connects rather than silently running the wrong
+    // algorithm remotely.
+    throw std::invalid_argument(
+        "case '" + label +
+        "' uses a custom algorithm factory and cannot be dispatched "
+        "to remote workers");
+  }
+  enc.put_string(label);
+  enc.put_u8(static_cast<std::uint8_t>(spec.algorithm));
+  enc.put_varint(spec.processes);
+  enc.put_varint(spec.changes);
+  put_double(enc, spec.mean_rounds);
+  put_double(enc, spec.crash_fraction);
+  enc.put_varint(spec.runs);
+  enc.put_u8(static_cast<std::uint8_t>(spec.mode));
+  enc.put_varint(spec.base_seed);
+  enc.put_bool(spec.measure_wire_sizes);
+  enc.put_bool(spec.check_invariants);
+}
+
+void CaseDescriptor::decode_body(Decoder& dec, std::uint64_t /*version*/) {
+  label = dec.get_string();
+  spec.algorithm = algorithm_from_wire(dec.get_u8());
+  spec.algorithm_factory = nullptr;
+  spec.processes = static_cast<std::size_t>(dec.get_varint());
+  spec.changes = static_cast<std::size_t>(dec.get_varint());
+  spec.mean_rounds = get_double(dec);
+  spec.crash_fraction = get_double(dec);
+  spec.runs = dec.get_varint();
+  spec.mode = mode_from_wire(dec.get_u8());
+  spec.base_seed = dec.get_varint();
+  spec.measure_wire_sizes = dec.get_bool();
+  spec.check_invariants = dec.get_bool();
+}
+
+void HelloFrame::encode_body(Encoder& enc, std::uint64_t version) const {
+  enc.put_bool(coordinator);
+  enc.put_string(schema);
+  enc.put_string(build);
+  enc.put_varint(slots);
+  enc.put_varint(lease_ms);
+  enc.put_varint(heartbeat_ms);
+  enc.put_varint(cases.size());
+  for (const CaseDescriptor& c : cases) c.encode_body(enc, version);
+}
+
+void HelloFrame::decode_body(Decoder& dec, std::uint64_t version) {
+  coordinator = dec.get_bool();
+  schema = dec.get_string();
+  build = dec.get_string();
+  slots = dec.get_varint();
+  lease_ms = dec.get_varint();
+  heartbeat_ms = dec.get_varint();
+  const std::uint64_t count = dec.get_varint();
+  // One descriptor is a handful of bytes; a count beyond this is a corrupt
+  // frame, not a sweep (the standard grids are a few hundred cases).
+  if (count > 1'000'000) {
+    throw DecodeError("implausible case-table size " + std::to_string(count));
+  }
+  cases.clear();
+  cases.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    cases.emplace_back().decode_body(dec, version);
+  }
+}
+
+void LeaseFrame::encode_body(Encoder& enc, std::uint64_t /*version*/) const {
+  enc.put_varint(unit_id);
+  enc.put_varint(case_index);
+  enc.put_varint(first_run);
+  enc.put_varint(run_count);
+  enc.put_bool(cascading);
+  enc.put_bytes(snapshot);
+}
+
+void LeaseFrame::decode_body(Decoder& dec, std::uint64_t /*version*/) {
+  unit_id = dec.get_varint();
+  case_index = dec.get_varint();
+  first_run = dec.get_varint();
+  run_count = dec.get_varint();
+  cascading = dec.get_bool();
+  snapshot = dec.get_bytes();
+}
+
+void ResultFrame::encode_body(Encoder& enc, std::uint64_t /*version*/) const {
+  enc.put_varint(unit_id);
+  put_double(enc, compute_seconds);
+  result.encode_body(enc);
+}
+
+void ResultFrame::decode_body(Decoder& dec, std::uint64_t /*version*/) {
+  unit_id = dec.get_varint();
+  compute_seconds = get_double(dec);
+  result.decode_body(dec);
+}
+
+void HeartbeatFrame::encode_body(Encoder& enc, std::uint64_t version) const {
+  enc.put_varint(inflight);
+  if (version >= 2) {
+    put_double(enc, busy_seconds);
+  }
+}
+
+void HeartbeatFrame::decode_body(Decoder& dec, std::uint64_t version) {
+  inflight = dec.get_varint();
+  if (version >= 2) {
+    busy_seconds = get_double(dec);
+  } else {
+    busy_seconds = 0.0;
+  }
+}
+
+void StealFrame::encode_body(Encoder& enc, std::uint64_t /*version*/) const {
+  enc.put_varint(want);
+}
+
+void StealFrame::decode_body(Decoder& dec, std::uint64_t /*version*/) {
+  want = dec.get_varint();
+}
+
+void ShutdownFrame::encode_body(Encoder& enc,
+                                std::uint64_t /*version*/) const {
+  enc.put_string(reason);
+}
+
+void ShutdownFrame::decode_body(Decoder& dec, std::uint64_t /*version*/) {
+  reason = dec.get_string();
+}
+
+FrameType frame_type(const Frame& frame) {
+  return std::visit(
+      [](const auto& f) {
+        using T = std::decay_t<decltype(f)>;
+        if constexpr (std::is_same_v<T, HelloFrame>) return FrameType::kHello;
+        if constexpr (std::is_same_v<T, LeaseFrame>) return FrameType::kLease;
+        if constexpr (std::is_same_v<T, ResultFrame>) {
+          return FrameType::kResult;
+        }
+        if constexpr (std::is_same_v<T, HeartbeatFrame>) {
+          return FrameType::kHeartbeat;
+        }
+        if constexpr (std::is_same_v<T, StealFrame>) return FrameType::kSteal;
+        if constexpr (std::is_same_v<T, ShutdownFrame>) {
+          return FrameType::kShutdown;
+        }
+      },
+      frame);
+}
+
+std::string_view to_string(FrameType type) {
+  switch (type) {
+    case FrameType::kHello: return "hello";
+    case FrameType::kLease: return "lease";
+    case FrameType::kResult: return "result";
+    case FrameType::kHeartbeat: return "heartbeat";
+    case FrameType::kSteal: return "steal";
+    case FrameType::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+std::vector<std::byte> encode_frame(const Frame& frame,
+                                    std::uint64_t version) {
+  Encoder enc;
+  enc.put_varint(version);
+  enc.put_u8(static_cast<std::uint8_t>(frame_type(frame)));
+  std::visit([&](const auto& f) { f.encode_body(enc, version); }, frame);
+  return enc.take();
+}
+
+Frame decode_frame(std::span<const std::byte> payload) {
+  Decoder dec(payload, kMaxFrameBytes);
+  const std::uint64_t version = dec.get_varint();
+  if (version == 0 || version > kFrameVersion) {
+    throw DecodeError("frame envelope version " + std::to_string(version) +
+                      " is not supported by this build (speaks up to " +
+                      std::to_string(kFrameVersion) + ")");
+  }
+  const std::uint8_t type = dec.get_u8();
+  Frame frame;
+  switch (static_cast<FrameType>(type)) {
+    case FrameType::kHello: frame = HelloFrame{}; break;
+    case FrameType::kLease: frame = LeaseFrame{}; break;
+    case FrameType::kResult: frame = ResultFrame{}; break;
+    case FrameType::kHeartbeat: frame = HeartbeatFrame{}; break;
+    case FrameType::kSteal: frame = StealFrame{}; break;
+    case FrameType::kShutdown: frame = ShutdownFrame{}; break;
+    default:
+      throw DecodeError("unknown frame type " + std::to_string(type));
+  }
+  std::visit([&](auto& f) { f.decode_body(dec, version); }, frame);
+  dec.finish();
+  return frame;
+}
+
+CaseResult execute_unit(const CaseSpec& spec, const LeaseFrame& lease) {
+  if (!lease.cascading) {
+    return run_case_shard(spec, lease.first_run, lease.run_count);
+  }
+  CascadeCheckpoint checkpoint;
+  checkpoint.first_run = lease.first_run;
+  checkpoint.bytes = lease.snapshot;
+  return run_cascading_shard(spec, checkpoint, lease.run_count);
+}
+
+}  // namespace dynvote::fabric

@@ -1,0 +1,314 @@
+#include "fabric/worker.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "fabric/socket.hpp"
+#include "fabric/wire.hpp"
+#include "runner/artifact.hpp"
+#include "runner/sweep.hpp"
+
+namespace dynvote::fabric {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+enum class SessionEnd {
+  kShutdown,  // coordinator said goodbye
+  kDied,      // die_after_units fired
+  kStopped,   // external stop flag
+  kLost,      // transport failed; caller may reconnect
+};
+
+/// State shared between the session's reader, executors, and heartbeat.
+struct WorkerSession {
+  Socket socket;
+  std::mutex send_mutex;
+
+  std::mutex mutex;
+  std::condition_variable work;
+  std::deque<LeaseFrame> leases;
+  std::vector<CaseDescriptor> cases;
+  std::size_t executing = 0;
+  std::uint64_t results_sent = 0;
+  double busy_seconds = 0.0;
+  bool ending = false;      // any reason; executors and heartbeat exit
+  bool dying = false;       // die_after_units fired: fall silent
+  bool lost = false;        // transport failure somewhere
+
+  std::uint64_t inflight_locked() const {
+    return leases.size() + executing;
+  }
+};
+
+/// Send one frame; on transport failure flag the session lost.
+void send_or_lose(WorkerSession& session, const Frame& frame) {
+  bool failed = false;
+  {
+    std::lock_guard<std::mutex> send_lock(session.send_mutex);
+    try {
+      session.socket.send_frame(encode_frame(frame));
+    } catch (const SocketError&) {
+      failed = true;
+    }
+  }
+  if (failed) {
+    std::lock_guard<std::mutex> lock(session.mutex);
+    session.lost = true;
+    session.ending = true;
+    session.work.notify_all();
+  }
+}
+
+void executor_loop(WorkerSession& session, const WorkerOptions& options) {
+  std::unique_lock<std::mutex> lock(session.mutex);
+  for (;;) {
+    session.work.wait(lock, [&] {
+      return session.ending || !session.leases.empty();
+    });
+    if (session.ending) return;
+    LeaseFrame lease = std::move(session.leases.front());
+    session.leases.pop_front();
+    if (lease.case_index >= session.cases.size()) continue;  // corrupt id
+    const CaseSpec spec = session.cases[lease.case_index].spec;
+    ++session.executing;
+    lock.unlock();
+
+    const auto start = Clock::now();
+    CaseResult shard = execute_unit(spec, lease);
+    const double seconds = seconds_since(start);
+
+    ResultFrame result;
+    result.unit_id = lease.unit_id;
+    result.compute_seconds = seconds;
+    result.result = std::move(shard);
+    send_or_lose(session, Frame{std::move(result)});
+
+    lock.lock();
+    --session.executing;
+    session.busy_seconds += seconds;
+    ++session.results_sent;
+    if (options.die_after_units != 0 &&
+        session.results_sent >= options.die_after_units) {
+      session.dying = true;
+      session.ending = true;
+      session.work.notify_all();
+      return;
+    }
+  }
+}
+
+void heartbeat_loop(WorkerSession& session, std::uint64_t heartbeat_ms) {
+  for (;;) {
+    HeartbeatFrame beat;
+    {
+      std::unique_lock<std::mutex> lock(session.mutex);
+      session.work.wait_for(lock, std::chrono::milliseconds(heartbeat_ms),
+                            [&] { return session.ending; });
+      if (session.ending) return;
+      beat.inflight = session.inflight_locked();
+      beat.busy_seconds = session.busy_seconds;
+    }
+    send_or_lose(session, Frame{beat});
+  }
+}
+
+SessionEnd run_session(Socket socket, const WorkerOptions& options,
+                       std::uint64_t slots) {
+  WorkerSession session;
+  session.socket = std::move(socket);
+
+  // Handshake: our capabilities out, the sweep's case table back.
+  HelloFrame hello;
+  hello.coordinator = false;
+  hello.build = artifact_git_describe();
+  hello.slots = slots;
+  try {
+    {
+      std::lock_guard<std::mutex> send_lock(session.send_mutex);
+      session.socket.send_frame(encode_frame(Frame{hello}));
+    }
+    session.socket.set_recv_timeout_ms(10000);
+    const auto reply_bytes = session.socket.recv_frame(kMaxFrameBytes);
+    if (!reply_bytes.has_value()) return SessionEnd::kLost;
+    Frame reply = decode_frame(*reply_bytes);
+    HelloFrame* coord = std::get_if<HelloFrame>(&reply);
+    if (coord == nullptr || !coord->coordinator ||
+        coord->schema != kFabricSchema) {
+      return SessionEnd::kLost;
+    }
+    session.cases = std::move(coord->cases);
+    const std::uint64_t heartbeat_ms =
+        coord->heartbeat_ms != 0 ? coord->heartbeat_ms : 1000;
+
+    // A short receive timeout keeps the reader responsive to stop/death
+    // flags; a quiet coordinator is normal (no work yet), not a death.
+    session.socket.set_recv_timeout_ms(1000);
+
+    std::vector<std::thread> executors;
+    executors.reserve(static_cast<std::size_t>(slots));
+    for (std::uint64_t s = 0; s < slots; ++s) {
+      executors.emplace_back([&session, &options] {
+        executor_loop(session, options);
+      });
+    }
+    std::thread heartbeat(
+        [&session, heartbeat_ms] { heartbeat_loop(session, heartbeat_ms); });
+
+    SessionEnd end = SessionEnd::kLost;
+    bool reading = true;
+    while (reading) {
+      if (options.stop != nullptr && options.stop->load()) {
+        end = SessionEnd::kStopped;
+        break;
+      }
+      {
+        std::lock_guard<std::mutex> lock(session.mutex);
+        if (session.dying) {
+          end = SessionEnd::kDied;
+          break;
+        }
+        if (session.lost) {
+          end = SessionEnd::kLost;
+          break;
+        }
+      }
+      try {
+        const auto payload = session.socket.recv_frame(kMaxFrameBytes);
+        if (!payload.has_value()) {
+          end = SessionEnd::kLost;
+          break;
+        }
+        Frame incoming = decode_frame(*payload);
+        if (LeaseFrame* lease = std::get_if<LeaseFrame>(&incoming)) {
+          std::lock_guard<std::mutex> lock(session.mutex);
+          session.leases.push_back(std::move(*lease));
+          session.work.notify_all();
+        } else if (std::get_if<ShutdownFrame>(&incoming) != nullptr) {
+          end = SessionEnd::kShutdown;
+          break;
+        } else {
+          end = SessionEnd::kLost;  // protocol violation
+          break;
+        }
+      } catch (const SocketTimeout&) {
+        // No traffic lately.  If we are fully idle the coordinator may
+        // have had nothing pending when it last topped us up -- ask.
+        std::uint64_t idle_slots = 0;
+        {
+          std::lock_guard<std::mutex> lock(session.mutex);
+          if (!session.ending && session.inflight_locked() == 0) {
+            idle_slots = slots;
+          }
+        }
+        if (idle_slots != 0) {
+          StealFrame steal;
+          steal.want = idle_slots;
+          send_or_lose(session, Frame{steal});
+        }
+      } catch (const SocketError&) {
+        end = SessionEnd::kLost;
+        break;
+      } catch (const DecodeError&) {
+        end = SessionEnd::kLost;
+        break;
+      }
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(session.mutex);
+      session.ending = true;
+      session.work.notify_all();
+    }
+    for (std::thread& t : executors) t.join();
+    heartbeat.join();
+
+    if (end == SessionEnd::kDied) {
+      // Play dead: keep the socket open but silent, so the coordinator's
+      // only signal is heartbeat silence.  Wait for the test's stop flag
+      // (or return immediately without one -- the closing socket then
+      // reads as an abrupt disconnect instead).
+      while (options.stop != nullptr && !options.stop->load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+    }
+    return end;
+  } catch (const SocketError&) {
+    return SessionEnd::kLost;
+  } catch (const DecodeError&) {
+    return SessionEnd::kLost;
+  }
+}
+
+}  // namespace
+
+const char* to_string(WorkerExit exit_code) {
+  switch (exit_code) {
+    case WorkerExit::kShutdown: return "shutdown";
+    case WorkerExit::kDied: return "died";
+    case WorkerExit::kStopped: return "stopped";
+    case WorkerExit::kConnectFailed: return "connect-failed";
+  }
+  return "unknown";
+}
+
+WorkerExit run_worker(const WorkerOptions& options) {
+  const std::uint64_t slots =
+      options.slots != 0 ? options.slots
+                         : static_cast<std::uint64_t>(jobs_from_env());
+  std::size_t attempts = 0;
+  std::uint64_t backoff_ms = options.backoff_initial_ms;
+  for (;;) {
+    if (options.stop != nullptr && options.stop->load()) {
+      return WorkerExit::kStopped;
+    }
+    Socket socket;
+    try {
+      socket = connect_to(options.host, options.port);
+    } catch (const SocketError&) {
+      if (++attempts >= options.max_connect_attempts) {
+        return WorkerExit::kConnectFailed;
+      }
+      // Bounded exponential backoff, sliced so a stop flag is honored
+      // promptly even at the cap.
+      std::uint64_t waited = 0;
+      while (waited < backoff_ms) {
+        if (options.stop != nullptr && options.stop->load()) {
+          return WorkerExit::kStopped;
+        }
+        const std::uint64_t slice = std::min<std::uint64_t>(
+            50, backoff_ms - waited);
+        std::this_thread::sleep_for(std::chrono::milliseconds(slice));
+        waited += slice;
+      }
+      backoff_ms = std::min(backoff_ms * 2, options.backoff_max_ms);
+      continue;
+    }
+
+    switch (run_session(std::move(socket), options, slots)) {
+      case SessionEnd::kShutdown: return WorkerExit::kShutdown;
+      case SessionEnd::kDied: return WorkerExit::kDied;
+      case SessionEnd::kStopped: return WorkerExit::kStopped;
+      case SessionEnd::kLost:
+        // Reconnect from a fresh backoff; the handshake succeeded, so
+        // the address is right and the coordinator may just be busy.
+        attempts = 0;
+        backoff_ms = options.backoff_initial_ms;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(options.backoff_initial_ms));
+        break;
+    }
+  }
+}
+
+}  // namespace dynvote::fabric

@@ -7,6 +7,20 @@
 
 namespace dynvote {
 
+void WireStats::encode_body(Encoder& enc) const {
+  enc.put_varint(messages_sent);
+  enc.put_varint(protocol_messages_sent);
+  enc.put_varint(max_message_bytes);
+  enc.put_varint(total_message_bytes);
+}
+
+void WireStats::decode_body(Decoder& dec) {
+  messages_sent = dec.get_varint();
+  protocol_messages_sent = dec.get_varint();
+  max_message_bytes = static_cast<std::size_t>(dec.get_varint());
+  total_message_bytes = dec.get_varint();
+}
+
 Gcs::Gcs(AlgorithmKind kind, std::size_t processes, GcsOptions options)
     : Gcs(
           [kind](ProcessId self, const View& initial_view) {

@@ -26,6 +26,9 @@
 
 namespace dynvote {
 
+class Encoder;
+class Decoder;
+
 struct GcsOptions {
   /// Encode each sent payload to record wire sizes (costs CPU; the
   /// availability benches leave it off, the message-size bench turns it on).
@@ -56,6 +59,11 @@ struct WireStats {
     max_message_bytes = std::max(max_message_bytes, other.max_message_bytes);
     total_message_bytes += other.total_message_bytes;
   }
+
+  /// Lossless wire form (util/codec.hpp), used by fabric result frames
+  /// when shard results travel back from remote workers.
+  void encode_body(Encoder& enc) const;
+  void decode_body(Decoder& dec);
 };
 
 class Gcs {

@@ -31,6 +31,8 @@ std::string_view to_string(CheckId check) {
       return "decode-throw";
     case CheckId::kAtomicFold:
       return "atomic-fold";
+    case CheckId::kFormatMigration:
+      return "format-migration";
   }
   return "unknown";
 }
@@ -53,14 +55,18 @@ int layer_rank(std::string_view dir) {
   if (dir == "gcs") return 2;
   if (dir == "sim") return 3;
   if (dir == "runner") return 4;
-  if (dir == "lint") return 5;
+  if (dir == "fabric") return 5;
+  if (dir == "lint") return 6;
   return -1;
 }
 
 /// Directories whose code feeds simulation results, stats folds, or the
-/// manifest fingerprint -- where determinism hygiene is enforced.
+/// manifest fingerprint -- where determinism hygiene is enforced.  The
+/// fabric qualifies: its merge order and wire round-trips are exactly what
+/// the bit-identical-fingerprint guarantee rests on.
 bool result_affecting(std::string_view dir) {
-  return dir == "core" || dir == "gcs" || dir == "sim" || dir == "runner";
+  return dir == "core" || dir == "gcs" || dir == "sim" || dir == "runner" ||
+         dir == "fabric";
 }
 
 std::string_view top_dir(std::string_view rel_path) {
@@ -150,6 +156,150 @@ void check_snapshot_completeness(const std::vector<ParsedFile>& files,
                       "; serialize it or annotate it '// dvlint: "
                       "transient(reason)'";
           findings.push_back(std::move(f));
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Check 6: format migration discipline
+//
+// A field the save side writes only under an envelope-version gate
+// (`if (version >= N) { ... }`) was added to the format after v1.  The
+// load side must read it under a gate too: an ungated read consumes bytes
+// that older writers never produced, desynchronizing the stream for every
+// field that follows.  The `else` branch of a gate counts as gated --
+// defaulting the field for pre-gate writers is the correct migration shape.
+
+struct GatedRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+bool in_gated_range(const std::vector<GatedRange>& ranges,
+                    std::size_t offset) {
+  for (const GatedRange& r : ranges) {
+    if (offset >= r.begin && offset < r.end) return true;
+  }
+  return false;
+}
+
+/// Byte ranges of `body` inside `if (<condition naming a *version*
+/// identifier>) { ... } [else { ... }]` statements.  Braceless gates are
+/// not recognized (the repo style always braces); chained `else if` gates
+/// are picked up as their own `if`.
+std::vector<GatedRange> version_gated_ranges(std::string_view body) {
+  std::vector<GatedRange> ranges;
+  const std::vector<Token> tokens = tokenize(body);
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].text != "if" || i + 1 >= tokens.size() ||
+        tokens[i + 1].text != "(") {
+      continue;
+    }
+    // Walk the condition; a gate names the envelope version.
+    bool versioned = false;
+    int depth = 0;
+    std::size_t j = i + 1;
+    for (; j < tokens.size(); ++j) {
+      if (tokens[j].text == "(") ++depth;
+      if (tokens[j].text == ")" && --depth == 0) break;
+      if (tokens[j].is_ident() &&
+          tokens[j].text.find("version") != std::string_view::npos) {
+        versioned = true;
+      }
+    }
+    if (!versioned || j + 1 >= tokens.size() ||
+        tokens[j + 1].text != "{") {
+      continue;
+    }
+    const std::size_t open = tokens[j + 1].offset;
+    const std::size_t close = match_brace(body, open);
+    if (close == std::string_view::npos) continue;
+    ranges.push_back(GatedRange{open + 1, close});
+    // Fold a chained `else { ... }` into the gate.  (`else if` falls
+    // through to the next iteration as its own gate.)
+    std::size_t k = j + 2;
+    while (k < tokens.size() && tokens[k].offset <= close) ++k;
+    if (k < tokens.size() && tokens[k].text == "else" &&
+        k + 1 < tokens.size() && tokens[k + 1].text == "{") {
+      const std::size_t else_open = tokens[k + 1].offset;
+      const std::size_t else_close = match_brace(body, else_open);
+      if (else_close != std::string_view::npos) {
+        ranges.push_back(GatedRange{else_open + 1, else_close});
+      }
+    }
+  }
+  return ranges;
+}
+
+void check_format_migration(const std::vector<ParsedFile>& files,
+                            std::vector<Finding>& findings) {
+  for (const ParsedFile& pf : files) {
+    for (const ClassDecl& cls : pf.classes) {
+      if (cls.fields.empty()) continue;
+
+      std::vector<BodyRef> save_bodies;
+      std::vector<BodyRef> load_bodies;
+      for (std::string_view m : kSaveSideMethods) {
+        collect_bodies(files, cls.name, m, save_bodies);
+      }
+      for (std::string_view m : kLoadSideMethods) {
+        collect_bodies(files, cls.name, m, load_bodies);
+      }
+      if (save_bodies.empty() || load_bodies.empty()) continue;
+
+      // Fields whose save-side references all sit inside version gates --
+      // i.e. fields added to the format after v1.
+      std::set<std::string_view> gated_fields;
+      std::set<std::string_view> ungated_fields;
+      for (const BodyRef& ref : save_bodies) {
+        const std::string_view body =
+            std::string_view(ref.file->code)
+                .substr(ref.body.begin, ref.body.end - ref.body.begin);
+        const std::vector<GatedRange> gates = version_gated_ranges(body);
+        for (const Token& t : tokenize(body)) {
+          if (!t.is_ident()) continue;
+          if (in_gated_range(gates, t.offset)) {
+            gated_fields.insert(t.text);
+          } else {
+            ungated_fields.insert(t.text);
+          }
+        }
+      }
+
+      for (const FieldDecl& field : cls.fields) {
+        if (gated_fields.count(field.name) == 0 ||
+            ungated_fields.count(field.name) > 0) {
+          continue;
+        }
+        // A migration field: every load-side reference must be gated.
+        for (const BodyRef& ref : load_bodies) {
+          const std::string_view body =
+              std::string_view(ref.file->code)
+                  .substr(ref.body.begin, ref.body.end - ref.body.begin);
+          const std::vector<GatedRange> gates = version_gated_ranges(body);
+          for (const Token& t : tokenize(body)) {
+            if (!t.is_ident() || t.text != field.name) continue;
+            if (in_gated_range(gates, t.offset)) continue;
+            const std::size_t line =
+                ref.file->line_of(ref.body.begin + t.offset);
+            if (ignored(*ref.file, line, CheckId::kFormatMigration)) {
+              continue;
+            }
+            Finding f;
+            f.check = CheckId::kFormatMigration;
+            f.file = ref.file->rel_path;
+            f.line = line;
+            f.detail = field.name;
+            f.message =
+                "class " + cls.name + ": field '" + field.name +
+                "' is written only under an envelope-version gate but read "
+                "here unconditionally; older writers never produced these "
+                "bytes -- gate the read on the same version (an `else` "
+                "branch may default it)";
+            findings.push_back(std::move(f));
+          }
         }
       }
     }
@@ -404,7 +554,8 @@ void check_layering(const std::vector<ParsedFile>& files,
       f.message = "include of \"" + inc.path + "\" climbs the layer DAG (" +
                   std::string(top_dir(src.rel_path)) + " may not depend on " +
                   std::string(inc_dir) +
-                  "; order is util < core < gcs < sim < runner < lint)";
+                  "; order is util < core < gcs < sim < runner < fabric "
+                  "< lint)";
       findings.push_back(std::move(f));
     }
   }
@@ -488,6 +639,7 @@ LintReport run_lint(const LintOptions& options) {
   check_layering(parsed, findings);
   check_decode_throw(parsed, findings);
   check_atomic_fold(parsed, findings);
+  check_format_migration(parsed, findings);
 
   LintReport report;
   report.files_scanned = parsed.size();

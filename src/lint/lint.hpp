@@ -20,11 +20,12 @@
 //                          pointer-keyed ordered containers, or range-for
 //                          iteration over an unordered_map/unordered_set in
 //                          result-affecting directories (core, gcs, sim,
-//                          runner).  Opt-out: `// dvlint: unordered-ok` for
-//                          provably order-insensitive folds.
-//   layering               an include that climbs the DAG
-//                          (util < core < gcs < sim < runner < lint); e.g.
-//                          core including sim, sim including runner, or
+//                          runner, fabric).  Opt-out: `// dvlint:
+//                          unordered-ok` for provably order-insensitive
+//                          folds.
+//   layering               an include that climbs the DAG (util < core <
+//                          gcs < sim < runner < fabric < lint); e.g. core
+//                          including sim, sim including runner, or
 //                          anything in src including bench.
 //   decode-throw           a load-side body (load, load_extra, decode,
 //                          decode_body) uses DV_ASSERT/DV_REQUIRE instead
@@ -38,6 +39,15 @@
 //                          its writers.  Opt-out: `// dvlint:
 //                          ignore(atomic-fold)` where the caller
 //                          establishes the barrier.
+//   format-migration       a field the save side writes only under an
+//                          envelope-version gate (`if (version >= N)`) was
+//                          added to the format after v1, but a load-side
+//                          body reads it outside any such gate.  Older
+//                          writers never produced those bytes: the ungated
+//                          read desynchronizes the stream for every field
+//                          after it.  The `else` branch of a gate counts as
+//                          gated (defaulting the field for old writers is
+//                          the correct migration shape).
 //
 // Any finding can also be silenced with `// dvlint: ignore(<check-id>)` on
 // (or immediately above) the offending line, or via a suppression file of
@@ -56,6 +66,7 @@ enum class CheckId {
   kLayering,
   kDecodeThrow,
   kAtomicFold,
+  kFormatMigration,
 };
 
 /// Stable kebab-case name used in output, annotations and suppressions.

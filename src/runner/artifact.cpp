@@ -145,6 +145,33 @@ std::string manifest_json(const SweepSpec& spec, const SweepResult& result) {
     case_json(json, outcome, /*include_volatile=*/true);
   }
   json.end_array();
+  // Fabric scheduling telemetry (multi-host sweeps only).  Volatile by
+  // design: which worker ran which unit, re-issues after deaths, and
+  // steal traffic can never affect the merged results, and keeping the
+  // block out of the results document is what lets a distributed manifest
+  // fingerprint-match a single-host one.
+  if (result.fabric.used) {
+    const FabricTelemetry& fabric = result.fabric;
+    json.key("fabric").begin_object();
+    json.key("units_issued").value(fabric.units_issued);
+    json.key("units_reissued").value(fabric.units_reissued);
+    json.key("units_stolen").value(fabric.units_stolen);
+    json.key("duplicate_results").value(fabric.duplicate_results);
+    json.key("workers_connected").value(fabric.workers_connected);
+    json.key("workers_died").value(fabric.workers_died);
+    json.key("workers").begin_array();
+    for (const FabricWorkerTelemetry& worker : fabric.workers) {
+      json.begin_object();
+      json.key("peer").value(worker.peer);
+      json.key("slots").value(worker.slots);
+      json.key("units_done").value(worker.units_done);
+      json.key("busy_seconds").value(worker.busy_seconds);
+      json.key("died").value(worker.died);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
   json.end_object();
   return json.str();
 }

@@ -32,7 +32,15 @@
 //                  "steady_allocs_per_round": ..,   <- only when the
 //                                counting allocator is linked (see
 //                                util/alloc_stats.hpp)
-//                  "shards": .., "steals": .. }, ... ]
+//                  "shards": .., "steals": .. }, ... ],
+//     "fabric": { "units_issued": .., "units_reissued": ..,
+//                 "units_stolen": .., "duplicate_results": ..,
+//                 "workers_connected": .., "workers_died": ..,
+//                 "workers": [ { "peer": "...", "slots": ..,
+//                                "units_done": .., "busy_seconds": ..,
+//                                "died": bool }, ... ] }
+//                          <- multi-host sweeps only (fabric/); volatile
+//                             scheduling telemetry, never fingerprinted
 //   }
 //
 // v3 adds the perf telemetry block (rounds_per_sec, total_deliveries,

@@ -83,12 +83,49 @@ struct CaseOutcome {
   std::size_t steals = 0;
 };
 
+/// Per-connection telemetry from one fabric worker (src/fabric).  Declared
+/// here, next to the other sweep telemetry, because the manifest writer
+/// renders it; the runner layer never depends on the fabric itself.
+struct FabricWorkerTelemetry {
+  /// "hello" build string the worker announced, or "local" for the
+  /// coordinator's own executor threads.
+  std::string peer;
+  std::uint64_t slots = 0;
+  std::uint64_t units_done = 0;
+  /// Simulate seconds this worker contributed (from its result frames).
+  double busy_seconds = 0.0;
+  /// The connection ended by death detection, not clean shutdown.
+  bool died = false;
+};
+
+/// Scheduling telemetry for a fabric (multi-host) sweep.  Volatile by
+/// construction: never part of the results fingerprint, which is what lets
+/// a distributed run assert bit-identity against a single-host one.
+struct FabricTelemetry {
+  /// False for plain in-process sweeps; the manifest omits the block.
+  bool used = false;
+  std::uint64_t units_issued = 0;
+  /// Units issued again after a lease deadline or a worker death.
+  std::uint64_t units_reissued = 0;
+  /// Units granted in response to worker steal requests (as opposed to
+  /// the automatic top-up after each result).
+  std::uint64_t units_stolen = 0;
+  /// Late results for units already completed elsewhere, dropped.
+  std::uint64_t duplicate_results = 0;
+  std::uint64_t workers_connected = 0;
+  std::uint64_t workers_died = 0;
+  std::vector<FabricWorkerTelemetry> workers;
+};
+
 struct SweepResult {
   std::vector<CaseOutcome> cases;
   double wall_seconds = 0.0;
   std::size_t jobs = 1;
   /// Manifest path actually written; empty when artifacts were disabled.
   std::string artifact_path;
+  /// Populated by fabric coordinators (fabric/coordinator.hpp); default
+  /// (used == false) for in-process sweeps.
+  FabricTelemetry fabric;
 };
 
 /// Execute the sweep across the worker pool and (when `spec.name` is set)

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/assert.hpp"
+#include "util/codec.hpp"
 
 namespace dynvote {
 
@@ -30,6 +31,18 @@ void AmbiguityHistogram::merge(const AmbiguityHistogram& other) {
   for (std::size_t i = 0; i < kBuckets; ++i) buckets[i] += other.buckets[i];
   samples += other.samples;
   max_observed = std::max(max_observed, other.max_observed);
+}
+
+void AmbiguityHistogram::encode_body(Encoder& enc) const {
+  for (std::uint64_t bucket : buckets) enc.put_varint(bucket);
+  enc.put_varint(samples);
+  enc.put_varint(max_observed);
+}
+
+void AmbiguityHistogram::decode_body(Decoder& dec) {
+  for (std::uint64_t& bucket : buckets) bucket = dec.get_varint();
+  samples = dec.get_varint();
+  max_observed = static_cast<std::size_t>(dec.get_varint());
 }
 
 double CaseResult::availability_percent() const {
@@ -63,6 +76,59 @@ void CaseResult::merge(const CaseResult& shard) {
   wire.merge(shard.wire);
   invariant_checks += shard.invariant_checks;
   total_deliveries += shard.total_deliveries;
+}
+
+void CaseResult::encode_body(Encoder& enc) const {
+  enc.put_varint(runs);
+  enc.put_varint(successes);
+  // Per-run outcome bits, packed eight to a byte, LSB first.
+  enc.put_varint(success_per_run.size());
+  std::uint8_t acc = 0;
+  int filled = 0;
+  for (const bool success : success_per_run) {
+    if (success) acc = static_cast<std::uint8_t>(acc | (1u << filled));
+    if (++filled == 8) {
+      enc.put_u8(acc);
+      acc = 0;
+      filled = 0;
+    }
+  }
+  if (filled != 0) enc.put_u8(acc);
+  stable.encode_body(enc);
+  in_progress.encode_body(enc);
+  enc.put_varint(total_rounds);
+  enc.put_varint(total_changes);
+  enc.put_varint(total_rounds_with_primary);
+  wire.encode_body(enc);
+  enc.put_varint(invariant_checks);
+  enc.put_varint(total_deliveries);
+}
+
+void CaseResult::decode_body(Decoder& dec) {
+  runs = dec.get_varint();
+  successes = dec.get_varint();
+  const std::uint64_t outcomes = dec.get_varint();
+  // One bit per run: anything beyond a billion runs in one shard result is
+  // a corrupt frame, not a sweep this simulator could have produced.
+  if (outcomes > (std::uint64_t{1} << 30)) {
+    throw DecodeError("implausible per-run outcome count " +
+                      std::to_string(outcomes));
+  }
+  success_per_run.clear();
+  success_per_run.reserve(static_cast<std::size_t>(outcomes));
+  std::uint8_t acc = 0;
+  for (std::uint64_t i = 0; i < outcomes; ++i) {
+    if (i % 8 == 0) acc = dec.get_u8();
+    success_per_run.push_back(((acc >> (i % 8)) & 1u) != 0);
+  }
+  stable.decode_body(dec);
+  in_progress.decode_body(dec);
+  total_rounds = dec.get_varint();
+  total_changes = dec.get_varint();
+  total_rounds_with_primary = dec.get_varint();
+  wire.decode_body(dec);
+  invariant_checks = dec.get_varint();
+  total_deliveries = dec.get_varint();
 }
 
 double CaseResult::in_run_availability_percent() const {

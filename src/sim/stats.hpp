@@ -9,6 +9,9 @@
 
 namespace dynvote {
 
+class Encoder;
+class Decoder;
+
 /// Histogram over ambiguous-session counts with the bucketing of
 /// Figures 4-7/4-8: 0, 1, 2, 3, and "4+".
 struct AmbiguityHistogram {
@@ -28,6 +31,10 @@ struct AmbiguityHistogram {
   double percent_nonzero() const;
 
   void merge(const AmbiguityHistogram& other);
+
+  /// Lossless wire form (util/codec.hpp) for fabric result frames.
+  void encode_body(Encoder& enc) const;
+  void decode_body(Decoder& dec);
 };
 
 /// Everything measured for one case (algorithm x #changes x rate x mode).
@@ -69,6 +76,13 @@ struct CaseResult {
   /// contiguous shards in run order is bit-identical to recording every
   /// run serially -- the property the parallel sweep runner relies on.
   void merge(const CaseResult& shard);
+
+  /// Lossless wire form (util/codec.hpp): the payload of a fabric result
+  /// frame.  Round-trips every field exactly, so a shard computed on a
+  /// remote worker merges bit-identically to one computed in-process
+  /// (fabric_test asserts this end to end).
+  void encode_body(Encoder& enc) const;
+  void decode_body(Decoder& dec);
 };
 
 /// Percent of runs where `a` succeeded and `b` failed, over paired runs.

@@ -65,9 +65,18 @@ std::uint64_t Decoder::get_u64_fixed() {
   return value;
 }
 
+std::size_t Decoder::checked_item_size(std::uint64_t n) const {
+  if (n > max_item_bytes_) {
+    throw DecodeError("length prefix of " + std::to_string(n) +
+                      " bytes exceeds decode cap of " +
+                      std::to_string(max_item_bytes_));
+  }
+  need(static_cast<std::size_t>(n));
+  return static_cast<std::size_t>(n);
+}
+
 std::vector<std::byte> Decoder::get_bytes() {
-  const std::uint64_t n = get_varint();
-  need(n);
+  const std::size_t n = checked_item_size(get_varint());
   std::vector<std::byte> out(bytes_.begin() + static_cast<std::ptrdiff_t>(pos_),
                              bytes_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
   pos_ += n;
@@ -75,11 +84,10 @@ std::vector<std::byte> Decoder::get_bytes() {
 }
 
 std::string Decoder::get_string() {
-  const std::uint64_t n = get_varint();
-  need(n);
+  const std::size_t n = checked_item_size(get_varint());
   std::string out;
   out.reserve(n);
-  for (std::uint64_t i = 0; i < n; ++i) {
+  for (std::size_t i = 0; i < n; ++i) {
     out.push_back(static_cast<char>(bytes_[pos_ + i]));
   }
   pos_ += n;

@@ -25,6 +25,14 @@ class DecodeError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Upper bound a Decoder accepts for a single length-prefixed item (blob or
+/// string) unless the caller passes a tighter one.  Encoded payloads now
+/// arrive from sockets, not only from files this process wrote, so a
+/// corrupt or hostile length prefix must fail as DecodeError up front --
+/// never reach an allocator sized by attacker-controlled bytes.  Generous
+/// enough for any real snapshot (the largest observed are kilobytes).
+inline constexpr std::size_t kDefaultDecodeItemCap = std::size_t{256} << 20;
+
 /// Append-only byte sink.
 class Encoder {
  public:
@@ -62,7 +70,13 @@ class Encoder {
 /// on truncation, and `finish()` asserts full consumption.
 class Decoder {
  public:
-  explicit Decoder(std::span<const std::byte> bytes) : bytes_(bytes) {}
+  /// `max_item_bytes` caps each length-prefixed item (get_bytes /
+  /// get_string); a prefix above it throws DecodeError even when the
+  /// buffer could satisfy it.  Network framing layers pass their frame
+  /// budget here so one bad prefix cannot commit a huge allocation.
+  explicit Decoder(std::span<const std::byte> bytes,
+                   std::size_t max_item_bytes = kDefaultDecodeItemCap)
+      : bytes_(bytes), max_item_bytes_(max_item_bytes) {}
 
   std::uint64_t get_varint();
   std::uint8_t get_u8();
@@ -80,8 +94,13 @@ class Decoder {
  private:
   void need(std::size_t n) const;
 
+  /// Validate one item's length prefix against both the cap and the
+  /// remaining input; throws DecodeError before any allocation happens.
+  std::size_t checked_item_size(std::uint64_t n) const;
+
   std::span<const std::byte> bytes_;
   std::size_t pos_ = 0;
+  std::size_t max_item_bytes_ = kDefaultDecodeItemCap;
 };
 
 }  // namespace dynvote

@@ -1,6 +1,8 @@
 #include "util/env.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 #include "util/logging.hpp"
@@ -13,6 +15,12 @@ void warn_malformed(const char* name, const std::string& raw,
                     const std::string& fallback_text) {
   DV_LOG_WARN("ignoring malformed " << name << "=\"" << raw
                                     << "\"; using " << fallback_text);
+}
+
+void warn_out_of_range(const char* name, const std::string& raw,
+                       const std::string& fallback_text) {
+  DV_LOG_WARN("ignoring out-of-range " << name << "=\"" << raw
+                                       << "\"; using " << fallback_text);
 }
 
 std::string lower(std::string s) {
@@ -33,9 +41,18 @@ std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
   const auto raw = env_string(name);
   if (!raw.has_value()) return fallback;
   char* end = nullptr;
+  errno = 0;
   const unsigned long long value = std::strtoull(raw->c_str(), &end, 10);
-  if (end == raw->c_str() || *end != '\0' || raw->front() == '-') {
+  if (end == raw->c_str() || *end != '\0') {
     warn_malformed(name, *raw, std::to_string(fallback));
+    return fallback;
+  }
+  // A negative number parses (strtoull wraps it) and an over-wide one
+  // saturates with ERANGE; both are values the variable cannot hold, not
+  // syntax errors -- surface them as out-of-range instead of applying a
+  // silently wrapped/clamped number.
+  if (raw->front() == '-' || errno == ERANGE) {
+    warn_out_of_range(name, *raw, std::to_string(fallback));
     return fallback;
   }
   return static_cast<std::uint64_t>(value);
@@ -45,9 +62,16 @@ double env_double(const char* name, double fallback) {
   const auto raw = env_string(name);
   if (!raw.has_value()) return fallback;
   char* end = nullptr;
+  errno = 0;
   const double value = std::strtod(raw->c_str(), &end);
   if (end == raw->c_str() || *end != '\0') {
     warn_malformed(name, *raw, std::to_string(fallback));
+    return fallback;
+  }
+  // Overflow to +/-inf is out-of-range; gradual underflow toward zero is
+  // a representable (if imprecise) value and passes through.
+  if (errno == ERANGE && std::isinf(value)) {
+    warn_out_of_range(name, *raw, std::to_string(fallback));
     return fallback;
   }
   return value;

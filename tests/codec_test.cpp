@@ -90,5 +90,56 @@ TEST(Decoder, LengthPrefixBeyondInputThrows) {
   EXPECT_THROW(dec.get_bytes(), DecodeError);
 }
 
+TEST(Decoder, OversizedLengthPrefixFailsBeforeAllocating) {
+  // A hostile prefix claiming nearly 2^64 bytes must be rejected by the
+  // item cap up front -- comparing it against `remaining()` alone would
+  // already catch it here, but the cap is what protects callers whose
+  // buffers are larger than any legitimate item.
+  Encoder enc;
+  enc.put_varint(std::numeric_limits<std::uint64_t>::max() - 1);
+  Decoder dec(enc.bytes());
+  try {
+    (void)dec.get_bytes();
+    FAIL() << "oversized prefix did not throw";
+  } catch (const DecodeError& e) {
+    EXPECT_NE(std::string(e.what()).find("cap"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Decoder, CallerItemCapTightensTheDefault) {
+  Encoder enc;
+  const std::vector<std::byte> blob(64, std::byte{0xAB});
+  enc.put_bytes(blob);
+  enc.put_string("0123456789");
+
+  // Under the default cap both items are fine.
+  Decoder relaxed(enc.bytes());
+  EXPECT_EQ(relaxed.get_bytes(), blob);
+  EXPECT_EQ(relaxed.get_string(), "0123456789");
+  relaxed.finish();
+
+  // A 32-byte budget rejects the blob even though the buffer holds it.
+  Decoder strict(enc.bytes(), 32);
+  EXPECT_THROW((void)strict.get_bytes(), DecodeError);
+
+  // Strings obey the same budget.
+  Decoder tiny(enc.bytes(), 8);
+  EXPECT_THROW((void)tiny.get_bytes(), DecodeError);
+  Encoder just_string;
+  just_string.put_string("0123456789");
+  Decoder tight(just_string.bytes(), 8);
+  EXPECT_THROW((void)tight.get_string(), DecodeError);
+}
+
+TEST(Decoder, ItemExactlyAtCapIsAccepted) {
+  Encoder enc;
+  const std::vector<std::byte> blob(16, std::byte{0x5A});
+  enc.put_bytes(blob);
+  Decoder dec(enc.bytes(), 16);
+  EXPECT_EQ(dec.get_bytes(), blob);
+  dec.finish();
+}
+
 }  // namespace
 }  // namespace dynvote

@@ -37,6 +37,42 @@ TEST_F(EnvTest, U64ParsesAndFallsBack) {
   EXPECT_EQ(env_u64(kName, 7), 7u);
 }
 
+TEST_F(EnvTest, OutOfRangeValuesWarnInsteadOfClamping) {
+  // A negative number for an unsigned knob (DV_LEASE_MS=-5) would wrap
+  // under plain strtoull; it must warn as out-of-range and fall back.
+  ::setenv(kName, "-5", 1);
+  ::testing::internal::CaptureStderr();
+  EXPECT_EQ(env_u64(kName, 30000), 30000u);
+  std::string log = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(log.find("out-of-range"), std::string::npos) << log;
+  EXPECT_NE(log.find("-5"), std::string::npos) << log;
+
+  // Wider than 64 bits saturates with ERANGE: also out-of-range, never
+  // the clamped ULLONG_MAX.
+  ::setenv(kName, "99999999999999999999999999", 1);
+  ::testing::internal::CaptureStderr();
+  EXPECT_EQ(env_u64(kName, 7), 7u);
+  log = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(log.find("out-of-range"), std::string::npos) << log;
+
+  // Double overflow to infinity is out-of-range too...
+  ::setenv(kName, "1e999", 1);
+  ::testing::internal::CaptureStderr();
+  EXPECT_EQ(env_double(kName, 1.5), 1.5);
+  log = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(log.find("out-of-range"), std::string::npos) << log;
+
+  // ...but gradual underflow is a representable value and passes through
+  // silently.
+  ::setenv(kName, "1e-320", 1);
+  ::testing::internal::CaptureStderr();
+  const double tiny = env_double(kName, 1.5);
+  log = ::testing::internal::GetCapturedStderr();
+  EXPECT_GT(tiny, 0.0);
+  EXPECT_LT(tiny, 1e-300);
+  EXPECT_EQ(log.find("out-of-range"), std::string::npos) << log;
+}
+
 TEST_F(EnvTest, DoubleParsesAndFallsBack) {
   ::setenv(kName, "2.5", 1);
   EXPECT_EQ(env_double(kName, 1.0), 2.5);

@@ -1,0 +1,440 @@
+// Tests for the multi-host sweep fabric (src/fabric/).
+//
+// Protocol layer: every frame type round-trips losslessly, the envelope
+// version gates post-v1 fields in both directions, and malformed payloads
+// fail as DecodeError instead of reaching an allocator.
+//
+// System layer, all over loopback sockets: a coordinator plus two workers
+// produces byte-identical deterministic results to the in-process
+// `run_sweep`; a worker that falls silent mid-unit is detected and its
+// units re-issued without changing results; duplicate (late straggler)
+// results are dropped idempotently.
+#include "fabric/coordinator.hpp"
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/algorithm.hpp"
+#include "fabric/socket.hpp"
+#include "fabric/wire.hpp"
+#include "fabric/worker.hpp"
+#include "gtest/gtest.h"
+#include "runner/artifact.hpp"
+#include "runner/progress.hpp"
+#include "runner/sweep.hpp"
+#include "util/codec.hpp"
+
+namespace dynvote::fabric {
+namespace {
+
+std::vector<std::byte> encode_result_body(const CaseResult& result) {
+  Encoder enc;
+  result.encode_body(enc);
+  return enc.take();
+}
+
+CaseSpec small_case(RunMode mode, AlgorithmKind kind = AlgorithmKind::kYkd) {
+  CaseSpec spec;
+  spec.algorithm = kind;
+  spec.processes = 8;
+  spec.changes = 4;
+  spec.mean_rounds = 3.0;
+  spec.runs = 48;
+  spec.mode = mode;
+  spec.base_seed = 0xFAB1;
+  return spec;
+}
+
+SweepSpec small_sweep() {
+  SweepSpec spec;
+  spec.min_shard_runs = 8;  // force several shards per case
+  SweepCase fresh;
+  fresh.spec = small_case(RunMode::kFreshStart);
+  spec.cases.push_back(fresh);
+  SweepCase cascading;
+  cascading.spec = small_case(RunMode::kCascading);
+  spec.cases.push_back(cascading);
+  SweepCase other;
+  other.spec = small_case(RunMode::kFreshStart, AlgorithmKind::kOnePending);
+  spec.cases.push_back(other);
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Wire protocol
+// ---------------------------------------------------------------------------
+
+TEST(FabricWire, HelloRoundTrip) {
+  HelloFrame hello;
+  hello.coordinator = true;
+  hello.build = "test-build";
+  hello.slots = 7;
+  hello.lease_ms = 12345;
+  hello.heartbeat_ms = 250;
+  CaseDescriptor desc;
+  desc.label = "ykd";
+  desc.spec = small_case(RunMode::kCascading);
+  desc.spec.measure_wire_sizes = true;
+  desc.spec.check_invariants = false;
+  hello.cases.push_back(desc);
+
+  const Frame decoded = decode_frame(encode_frame(Frame{hello}));
+  const auto& got = std::get<HelloFrame>(decoded);
+  EXPECT_TRUE(got.coordinator);
+  EXPECT_EQ(got.schema, kFabricSchema);
+  EXPECT_EQ(got.build, "test-build");
+  EXPECT_EQ(got.slots, 7u);
+  EXPECT_EQ(got.lease_ms, 12345u);
+  EXPECT_EQ(got.heartbeat_ms, 250u);
+  ASSERT_EQ(got.cases.size(), 1u);
+  EXPECT_EQ(got.cases[0].label, "ykd");
+  EXPECT_EQ(got.cases[0].spec.algorithm, AlgorithmKind::kYkd);
+  EXPECT_EQ(got.cases[0].spec.processes, 8u);
+  EXPECT_EQ(got.cases[0].spec.changes, 4u);
+  EXPECT_EQ(got.cases[0].spec.mean_rounds, 3.0);
+  EXPECT_EQ(got.cases[0].spec.runs, 48u);
+  EXPECT_EQ(got.cases[0].spec.mode, RunMode::kCascading);
+  EXPECT_EQ(got.cases[0].spec.base_seed, 0xFAB1u);
+  EXPECT_TRUE(got.cases[0].spec.measure_wire_sizes);
+  EXPECT_FALSE(got.cases[0].spec.check_invariants);
+}
+
+TEST(FabricWire, LeaseRoundTrip) {
+  LeaseFrame lease;
+  lease.unit_id = 42;
+  lease.case_index = 3;
+  lease.first_run = 96;
+  lease.run_count = 32;
+  lease.cascading = true;
+  lease.snapshot = {std::byte{0xDE}, std::byte{0xAD}, std::byte{0xBE}};
+
+  const Frame decoded = decode_frame(encode_frame(Frame{lease}));
+  const auto& got = std::get<LeaseFrame>(decoded);
+  EXPECT_EQ(got.unit_id, 42u);
+  EXPECT_EQ(got.case_index, 3u);
+  EXPECT_EQ(got.first_run, 96u);
+  EXPECT_EQ(got.run_count, 32u);
+  EXPECT_TRUE(got.cascading);
+  EXPECT_EQ(got.snapshot, lease.snapshot);
+}
+
+TEST(FabricWire, ResultRoundTripIsLossless) {
+  CaseSpec spec = small_case(RunMode::kFreshStart);
+  spec.measure_wire_sizes = true;  // populate every statistic
+  ResultFrame frame;
+  frame.unit_id = 9;
+  frame.compute_seconds = 1.25;
+  frame.result = run_case_shard(spec, 8, 16);
+  ASSERT_EQ(frame.result.runs, 16u);
+
+  const Frame decoded = decode_frame(encode_frame(Frame{frame}));
+  const auto& got = std::get<ResultFrame>(decoded);
+  EXPECT_EQ(got.unit_id, 9u);
+  EXPECT_EQ(got.compute_seconds, 1.25);
+  // Bit-exact equality of the full statistics payload.
+  EXPECT_EQ(encode_result_body(got.result),
+            encode_result_body(frame.result));
+  EXPECT_EQ(got.result.success_per_run, frame.result.success_per_run);
+  EXPECT_EQ(got.result.wire.max_message_bytes,
+            frame.result.wire.max_message_bytes);
+}
+
+TEST(FabricWire, HeartbeatStealShutdownRoundTrip) {
+  HeartbeatFrame beat;
+  beat.inflight = 3;
+  beat.busy_seconds = 2.5;
+  const auto& got_beat =
+      std::get<HeartbeatFrame>(decode_frame(encode_frame(Frame{beat})));
+  EXPECT_EQ(got_beat.inflight, 3u);
+  EXPECT_EQ(got_beat.busy_seconds, 2.5);
+
+  StealFrame steal;
+  steal.want = 6;
+  const auto& got_steal =
+      std::get<StealFrame>(decode_frame(encode_frame(Frame{steal})));
+  EXPECT_EQ(got_steal.want, 6u);
+
+  ShutdownFrame bye;
+  bye.reason = "sweep drained";
+  const auto& got_bye =
+      std::get<ShutdownFrame>(decode_frame(encode_frame(Frame{bye})));
+  EXPECT_EQ(got_bye.reason, "sweep drained");
+}
+
+TEST(FabricWire, HeartbeatBusySecondsIsVersionGated) {
+  HeartbeatFrame beat;
+  beat.inflight = 2;
+  beat.busy_seconds = 9.75;
+
+  // A v1 peer neither writes nor reads the v2 field.
+  const std::vector<std::byte> v1 = encode_frame(Frame{beat}, 1);
+  const auto& from_v1 = std::get<HeartbeatFrame>(decode_frame(v1));
+  EXPECT_EQ(from_v1.inflight, 2u);
+  EXPECT_EQ(from_v1.busy_seconds, 0.0);
+
+  const std::vector<std::byte> v2 = encode_frame(Frame{beat}, 2);
+  EXPECT_GT(v2.size(), v1.size());
+  const auto& from_v2 = std::get<HeartbeatFrame>(decode_frame(v2));
+  EXPECT_EQ(from_v2.busy_seconds, 9.75);
+}
+
+TEST(FabricWire, MalformedFramesThrowDecodeError) {
+  // Truncated mid-frame.
+  const std::vector<std::byte> whole = encode_frame(Frame{StealFrame{5}});
+  for (std::size_t cut = 0; cut < whole.size(); ++cut) {
+    const std::span<const std::byte> prefix(whole.data(), cut);
+    EXPECT_THROW((void)decode_frame(prefix), DecodeError) << "cut=" << cut;
+  }
+  // Trailing garbage after a valid frame.
+  std::vector<std::byte> padded = whole;
+  padded.push_back(std::byte{0x00});
+  EXPECT_THROW((void)decode_frame(padded), DecodeError);
+
+  // Unknown frame type.
+  Encoder unknown_type;
+  unknown_type.put_varint(kFrameVersion);
+  unknown_type.put_u8(99);
+  EXPECT_THROW((void)decode_frame(unknown_type.bytes()), DecodeError);
+
+  // Envelope newer than this build.
+  Encoder future;
+  future.put_varint(kFrameVersion + 1);
+  future.put_u8(static_cast<std::uint8_t>(FrameType::kSteal));
+  future.put_varint(1);
+  EXPECT_THROW((void)decode_frame(future.bytes()), DecodeError);
+
+  // A lease whose snapshot length prefix claims more than the frame cap:
+  // must fail before any allocation.
+  Encoder huge;
+  huge.put_varint(kFrameVersion);
+  huge.put_u8(static_cast<std::uint8_t>(FrameType::kLease));
+  huge.put_varint(1);   // unit
+  huge.put_varint(0);   // case
+  huge.put_varint(0);   // first_run
+  huge.put_varint(8);   // run_count
+  huge.put_u8(1);       // cascading
+  huge.put_varint(std::uint64_t{1} << 62);  // snapshot "length"
+  EXPECT_THROW((void)decode_frame(huge.bytes()), DecodeError);
+
+  // An invalid algorithm kind inside a case descriptor.
+  Encoder bad_algo;
+  bad_algo.put_varint(kFrameVersion);
+  bad_algo.put_u8(static_cast<std::uint8_t>(FrameType::kHello));
+  bad_algo.put_u8(0);                        // coordinator=false
+  bad_algo.put_string(kFabricSchema);
+  bad_algo.put_string("build");
+  bad_algo.put_varint(1);                    // slots
+  bad_algo.put_varint(0);                    // lease_ms
+  bad_algo.put_varint(0);                    // heartbeat_ms
+  bad_algo.put_varint(1);                    // one case
+  bad_algo.put_string("label");
+  bad_algo.put_u8(200);                      // no such algorithm
+  EXPECT_THROW((void)decode_frame(bad_algo.bytes()), DecodeError);
+}
+
+TEST(FabricWire, FactoryCasesAreRejectedBeforeDispatch) {
+  CaseDescriptor desc;
+  desc.label = "custom";
+  desc.spec = small_case(RunMode::kFreshStart);
+  desc.spec.algorithm_factory = [](ProcessId self, const View& initial) {
+    return make_algorithm(AlgorithmKind::kYkd, self, initial);
+  };
+  Encoder enc;
+  EXPECT_THROW(desc.encode_body(enc, kFrameVersion), std::invalid_argument);
+
+  SweepSpec sweep;
+  SweepCase c;
+  c.algorithm = "custom";
+  c.spec = desc.spec;
+  sweep.cases.push_back(c);
+  CoordinatorOptions options;
+  options.local_jobs = 1;
+  EXPECT_THROW(Coordinator(sweep, options), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Loopback coordinator/worker systems
+// ---------------------------------------------------------------------------
+
+/// In-process worker on its own thread, reaped on scope exit.
+class WorkerThread {
+ public:
+  explicit WorkerThread(WorkerOptions options) : options_(options) {
+    options_.stop = &stop_;
+    thread_ = std::thread([this] { exit_ = run_worker(options_); });
+  }
+  ~WorkerThread() {
+    stop_.store(true);
+    if (thread_.joinable()) thread_.join();
+  }
+  WorkerExit exit_code() {
+    if (thread_.joinable()) thread_.join();
+    return exit_;
+  }
+  void request_stop() { stop_.store(true); }
+
+ private:
+  WorkerOptions options_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+  WorkerExit exit_ = WorkerExit::kStopped;
+};
+
+TEST(FabricSystem, TwoWorkerSweepMatchesInProcessFingerprint) {
+  SweepSpec spec = small_sweep();
+  NullProgress quiet;
+  spec.progress = &quiet;
+
+  SweepSpec serial = spec;
+  serial.jobs = 2;
+  const SweepResult expected = run_sweep(serial);
+
+  CoordinatorOptions options;
+  options.local_jobs = 1;  // scouts cascading cases; shares the unit pool
+  options.heartbeat_ms = 100;
+  Coordinator coordinator(spec, options);
+
+  WorkerOptions worker;
+  worker.port = coordinator.port();
+  worker.slots = 2;
+  WorkerThread first(worker);
+  WorkerThread second(worker);
+
+  const SweepResult distributed = coordinator.run();
+  EXPECT_EQ(first.exit_code(), WorkerExit::kShutdown);
+  EXPECT_EQ(second.exit_code(), WorkerExit::kShutdown);
+
+  // The deterministic results document -- the bytes the fingerprint
+  // hashes -- must be identical to the single-host run's.
+  EXPECT_EQ(manifest_results_json(spec, distributed),
+            manifest_results_json(spec, expected));
+  EXPECT_EQ(results_fingerprint(spec, distributed),
+            results_fingerprint(spec, expected));
+
+  EXPECT_TRUE(distributed.fabric.used);
+  EXPECT_EQ(distributed.fabric.workers_connected, 2u);
+  EXPECT_EQ(distributed.fabric.workers_died, 0u);
+  EXPECT_GT(distributed.fabric.units_issued, 0u);
+  // Remote workers really participated.
+  std::uint64_t remote_units = 0;
+  for (const FabricWorkerTelemetry& w : distributed.fabric.workers) {
+    if (w.peer != "local") remote_units += w.units_done;
+  }
+  EXPECT_GT(remote_units, 0u);
+}
+
+TEST(FabricSystem, SilentWorkerDeathTriggersReissueWithIdenticalResults) {
+  SweepSpec spec = small_sweep();
+  NullProgress quiet;
+  spec.progress = &quiet;
+
+  const SweepResult expected = run_sweep(spec);
+
+  CoordinatorOptions options;
+  options.local_jobs = 1;
+  options.heartbeat_ms = 100;  // silence window: max(5x100, 2000) = 2s
+  Coordinator coordinator(spec, options);
+
+  // This worker completes one unit, then falls silent while still holding
+  // leases -- the only death signal is missing heartbeats.
+  WorkerOptions dying;
+  dying.port = coordinator.port();
+  dying.slots = 2;
+  dying.die_after_units = 1;
+  WorkerThread casualty(dying);
+
+  const SweepResult distributed = coordinator.run();
+  casualty.request_stop();
+  EXPECT_EQ(casualty.exit_code(), WorkerExit::kDied);
+
+  // The sweep can only have drained by re-issuing the casualty's units.
+  EXPECT_GE(distributed.fabric.units_reissued, 1u);
+  EXPECT_EQ(manifest_results_json(spec, distributed),
+            manifest_results_json(spec, expected));
+}
+
+TEST(FabricSystem, DuplicateLateResultsAreDropped) {
+  SweepSpec spec;
+  spec.min_shard_runs = 8;
+  SweepCase only;
+  only.spec = small_case(RunMode::kFreshStart);
+  spec.cases.push_back(only);
+  NullProgress quiet;
+  spec.progress = &quiet;
+
+  const SweepResult expected = run_sweep(spec);
+
+  CoordinatorOptions options;
+  options.local_jobs = 0;  // dispatch-only: every unit goes to the client
+  options.heartbeat_ms = 100;
+  Coordinator coordinator(spec, options);
+
+  // A hand-rolled protocol client that answers every lease TWICE.
+  std::thread client([port = coordinator.port()] {
+    Socket socket = connect_to("127.0.0.1", port);
+    HelloFrame hello;
+    hello.coordinator = false;
+    hello.slots = 1;
+    socket.send_frame(encode_frame(Frame{hello}));
+    const auto reply = socket.recv_frame(kMaxFrameBytes);
+    ASSERT_TRUE(reply.has_value());
+    const Frame reply_frame = decode_frame(*reply);
+    const auto& coord = std::get<HelloFrame>(reply_frame);
+    ASSERT_TRUE(coord.coordinator);
+    socket.set_recv_timeout_ms(5000);
+    for (;;) {
+      std::optional<std::vector<std::byte>> payload;
+      try {
+        payload = socket.recv_frame(kMaxFrameBytes);
+      } catch (const SocketError&) {
+        break;
+      }
+      if (!payload.has_value()) break;
+      Frame incoming = decode_frame(*payload);
+      if (const LeaseFrame* lease = std::get_if<LeaseFrame>(&incoming)) {
+        ResultFrame result;
+        result.unit_id = lease->unit_id;
+        result.result =
+            execute_unit(coord.cases[lease->case_index].spec, *lease);
+        const std::vector<std::byte> frame =
+            encode_frame(Frame{result});
+        socket.send_frame(frame);
+        socket.send_frame(frame);  // the late straggler duplicate
+      } else if (std::get_if<ShutdownFrame>(&incoming) != nullptr) {
+        break;
+      }
+    }
+  });
+
+  const SweepResult distributed = coordinator.run();
+  client.join();
+
+  EXPECT_GE(distributed.fabric.duplicate_results, 1u);
+  EXPECT_EQ(manifest_results_json(spec, distributed),
+            manifest_results_json(spec, expected));
+}
+
+TEST(FabricSystem, CoordinatorAloneBehavesLikeRunSweep) {
+  SweepSpec spec = small_sweep();
+  NullProgress quiet;
+  spec.progress = &quiet;
+
+  const SweepResult expected = run_sweep(spec);
+
+  CoordinatorOptions options;
+  options.local_jobs = 2;
+  Coordinator coordinator(spec, options);
+  const SweepResult alone = coordinator.run();
+
+  EXPECT_EQ(manifest_results_json(spec, alone),
+            manifest_results_json(spec, expected));
+  EXPECT_EQ(alone.fabric.workers_connected, 0u);
+}
+
+}  // namespace
+}  // namespace dynvote::fabric

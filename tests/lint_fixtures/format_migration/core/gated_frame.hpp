@@ -1,0 +1,33 @@
+// Fixture: the correct format-migration shape.  `retries_` was added in
+// envelope v2: the save side writes it only under a version gate, and the
+// load side reads it under the same gate, defaulting it in the `else`
+// branch for v1 writers.  dvlint must stay silent.
+#pragma once
+
+#include <cstdint>
+
+namespace fixture {
+
+class GatedFrame {
+ public:
+  void encode_body(Encoder& enc, std::uint64_t version) const {
+    enc.put_varint(attempts_);
+    if (version >= 2) {
+      enc.put_varint(retries_);
+    }
+  }
+  void decode_body(Decoder& dec, std::uint64_t version) {
+    attempts_ = dec.get_varint();
+    if (version >= 2) {
+      retries_ = dec.get_varint();
+    } else {
+      retries_ = 0;
+    }
+  }
+
+ private:
+  std::uint64_t attempts_ = 0;
+  std::uint64_t retries_ = 0;
+};
+
+}  // namespace fixture

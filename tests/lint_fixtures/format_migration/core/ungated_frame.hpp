@@ -1,0 +1,29 @@
+// Fixture: a broken format migration.  `retries_` is written only when the
+// envelope version is >= 2, but decode_body() reads it unconditionally --
+// against a v1 writer the read consumes bytes that were never produced and
+// desynchronizes everything after it.  dvlint must flag the ungated read.
+#pragma once
+
+#include <cstdint>
+
+namespace fixture {
+
+class UngatedFrame {
+ public:
+  void encode_body(Encoder& enc, std::uint64_t version) const {
+    enc.put_varint(attempts_);
+    if (version >= 2) {
+      enc.put_varint(retries_);
+    }
+  }
+  void decode_body(Decoder& dec, std::uint64_t version) {
+    attempts_ = dec.get_varint();
+    retries_ = dec.get_varint();
+  }
+
+ private:
+  std::uint64_t attempts_ = 0;
+  std::uint64_t retries_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,286 @@
+// dvdispatch: run availability sweeps on the multi-host fabric.
+//
+//   dvdispatch --coordinator [sweep options] [--port N] [--local-jobs N]
+//              [--lease-ms N]
+//   dvdispatch --worker HOST:PORT [--slots N] [--die-after-units N]
+//   dvdispatch --local [sweep options]
+//
+// The coordinator listens on --port (default DV_FABRIC_PORT, else 7717),
+// executes the sweep with --local-jobs threads of its own, and leases work
+// units to any worker that connects; --local runs the identical sweep
+// entirely in-process through the ordinary runner.  Because shard merge is
+// bit-identical, both paths stamp the same results_fingerprint into their
+// manifests -- CI starts a coordinator plus workers (killing one
+// mid-sweep), runs --local, and requires `bench_diff` to find the two
+// manifests identical.
+//
+// Sweep options (same sweep on every path):
+//   --name NAME        artifact stem (default "fabric_sweep")
+//   --algos a,b,...    algorithms (default: all six)
+//   --rates r1,r2,...  mean rounds between changes (default "2,6,10")
+//   --changes N        connectivity changes per run (default 6)
+//   --processes N      process count (default 64)
+//   --runs N           runs per case (default DV_RUNS, else 200)
+//   --seed N           base seed (default DV_SEED, else 0x5eed)
+//   --mode M           fresh | cascading | both (default both)
+//   --min-shard-runs N smallest shard (default auto)
+//
+// Exit codes: 0 success/clean shutdown, 2 usage or connection failure,
+// 3 worker died via --die-after-units (a test hook, not an error).
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "fabric/coordinator.hpp"
+#include "fabric/worker.hpp"
+#include "runner/artifact.hpp"
+#include "runner/sweep.hpp"
+#include "util/env.hpp"
+
+namespace {
+
+using namespace dynvote;
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " --coordinator|--worker HOST:PORT|--local [options]\n"
+               "see the header of tools/dvdispatch.cpp for the full list\n";
+  return 2;
+}
+
+std::vector<std::string> split_commas(const std::string& value) {
+  std::vector<std::string> parts;
+  std::size_t begin = 0;
+  while (begin <= value.size()) {
+    const std::size_t comma = value.find(',', begin);
+    if (comma == std::string::npos) {
+      parts.push_back(value.substr(begin));
+      break;
+    }
+    parts.push_back(value.substr(begin, comma - begin));
+    begin = comma + 1;
+  }
+  return parts;
+}
+
+struct Cli {
+  enum class Role { kNone, kCoordinator, kWorker, kLocal } role = Role::kNone;
+  std::string worker_target;
+  std::uint16_t port = 0;
+  std::uint64_t local_jobs = fabric::CoordinatorOptions::kAutoLocalJobs;
+  std::uint64_t lease_ms = 0;
+  std::uint64_t slots = 0;
+  std::uint64_t die_after_units = 0;
+
+  std::string name = "fabric_sweep";
+  std::vector<AlgorithmKind> algorithms;
+  std::vector<double> rates = {2.0, 6.0, 10.0};
+  std::size_t changes = 6;
+  std::size_t processes = 64;
+  std::uint64_t runs = 0;
+  std::uint64_t seed = 0;
+  bool fresh = true;
+  bool cascading = true;
+  std::uint64_t min_shard_runs = 0;
+};
+
+bool parse_cli(int argc, char** argv, Cli& cli) {
+  const auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) return nullptr;
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* value = nullptr;
+    if (arg == "--coordinator") {
+      cli.role = Cli::Role::kCoordinator;
+    } else if (arg == "--local") {
+      cli.role = Cli::Role::kLocal;
+    } else if (arg == "--worker") {
+      if ((value = need_value(i)) == nullptr) return false;
+      cli.role = Cli::Role::kWorker;
+      cli.worker_target = value;
+    } else if (arg == "--port") {
+      if ((value = need_value(i)) == nullptr) return false;
+      cli.port = static_cast<std::uint16_t>(std::strtoul(value, nullptr, 10));
+    } else if (arg == "--local-jobs") {
+      if ((value = need_value(i)) == nullptr) return false;
+      cli.local_jobs = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--lease-ms") {
+      if ((value = need_value(i)) == nullptr) return false;
+      cli.lease_ms = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--slots") {
+      if ((value = need_value(i)) == nullptr) return false;
+      cli.slots = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--die-after-units") {
+      if ((value = need_value(i)) == nullptr) return false;
+      cli.die_after_units = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--name") {
+      if ((value = need_value(i)) == nullptr) return false;
+      cli.name = value;
+    } else if (arg == "--algos") {
+      if ((value = need_value(i)) == nullptr) return false;
+      for (const std::string& part : split_commas(value)) {
+        const auto kind = algorithm_kind_from_string(part);
+        if (!kind.has_value()) {
+          std::cerr << "dvdispatch: unknown algorithm '" << part << "'\n";
+          return false;
+        }
+        cli.algorithms.push_back(*kind);
+      }
+    } else if (arg == "--rates") {
+      if ((value = need_value(i)) == nullptr) return false;
+      cli.rates.clear();
+      for (const std::string& part : split_commas(value)) {
+        cli.rates.push_back(std::strtod(part.c_str(), nullptr));
+      }
+    } else if (arg == "--changes") {
+      if ((value = need_value(i)) == nullptr) return false;
+      cli.changes = static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
+    } else if (arg == "--processes") {
+      if ((value = need_value(i)) == nullptr) return false;
+      cli.processes =
+          static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
+    } else if (arg == "--runs") {
+      if ((value = need_value(i)) == nullptr) return false;
+      cli.runs = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--seed") {
+      if ((value = need_value(i)) == nullptr) return false;
+      cli.seed = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--mode") {
+      if ((value = need_value(i)) == nullptr) return false;
+      const std::string mode = value;
+      cli.fresh = mode == "fresh" || mode == "both";
+      cli.cascading = mode == "cascading" || mode == "both";
+      if (!cli.fresh && !cli.cascading) {
+        std::cerr << "dvdispatch: unknown mode '" << mode << "'\n";
+        return false;
+      }
+    } else if (arg == "--min-shard-runs") {
+      if ((value = need_value(i)) == nullptr) return false;
+      cli.min_shard_runs = std::strtoull(value, nullptr, 10);
+    } else {
+      std::cerr << "dvdispatch: unknown option '" << arg << "'\n";
+      return false;
+    }
+  }
+  return cli.role != Cli::Role::kNone;
+}
+
+SweepSpec build_spec(const Cli& cli) {
+  SweepSpec spec;
+  spec.name = cli.name;
+  spec.min_shard_runs = cli.min_shard_runs;
+  const std::vector<AlgorithmKind> algorithms =
+      cli.algorithms.empty() ? all_algorithm_kinds() : cli.algorithms;
+  const std::uint64_t runs = cli.runs != 0 ? cli.runs : runs_from_env(200);
+  const std::uint64_t seed = cli.seed != 0 ? cli.seed : seed_from_env(0x5eed);
+  if (cli.fresh) {
+    std::vector<SweepCase> grid =
+        availability_grid(algorithms, cli.rates, cli.changes,
+                          RunMode::kFreshStart, runs, seed, cli.processes);
+    spec.cases.insert(spec.cases.end(), grid.begin(), grid.end());
+  }
+  if (cli.cascading) {
+    std::vector<SweepCase> grid =
+        availability_grid(algorithms, cli.rates, cli.changes,
+                          RunMode::kCascading, runs, seed, cli.processes);
+    spec.cases.insert(spec.cases.end(), grid.begin(), grid.end());
+  }
+  return spec;
+}
+
+void report(const SweepSpec& spec, const SweepResult& result) {
+  std::cout << "sweep '" << spec.name << "': " << result.cases.size()
+            << " cases in " << result.wall_seconds << "s\n";
+  std::cout << "results_fingerprint " << results_fingerprint(spec, result)
+            << "\n";
+  if (!result.artifact_path.empty()) {
+    std::cout << "manifest " << result.artifact_path << "\n";
+  }
+  if (result.fabric.used) {
+    std::cout << "fabric: " << result.fabric.units_issued << " units issued, "
+              << result.fabric.units_reissued << " re-issued, "
+              << result.fabric.units_stolen << " stolen, "
+              << result.fabric.duplicate_results << " duplicates dropped, "
+              << result.fabric.workers_connected << " workers ("
+              << result.fabric.workers_died << " died)\n";
+  }
+}
+
+int run_coordinator(const Cli& cli) {
+  fabric::CoordinatorOptions options;
+  options.port = cli.port != 0
+                     ? cli.port
+                     : static_cast<std::uint16_t>(
+                           env_u64("DV_FABRIC_PORT", 7717));
+  options.local_jobs = cli.local_jobs;
+  options.lease_ms = cli.lease_ms;
+  const SweepSpec spec = build_spec(cli);
+  fabric::Coordinator coordinator(spec, options);
+  std::cerr << "dvdispatch: coordinating '" << spec.name << "' ("
+            << spec.cases.size() << " cases) on port " << coordinator.port()
+            << "\n";
+  const SweepResult result = coordinator.run();
+  report(spec, result);
+  return 0;
+}
+
+int run_worker_role(const Cli& cli) {
+  const std::size_t colon = cli.worker_target.rfind(':');
+  if (colon == std::string::npos) {
+    std::cerr << "dvdispatch: --worker expects HOST:PORT\n";
+    return 2;
+  }
+  fabric::WorkerOptions options;
+  options.host = cli.worker_target.substr(0, colon);
+  options.port = static_cast<std::uint16_t>(
+      std::strtoul(cli.worker_target.c_str() + colon + 1, nullptr, 10));
+  if (options.port == 0) {
+    options.port =
+        static_cast<std::uint16_t>(env_u64("DV_FABRIC_PORT", 7717));
+  }
+  options.slots = cli.slots;
+  options.die_after_units = cli.die_after_units;
+  const fabric::WorkerExit exit_code = fabric::run_worker(options);
+  std::cerr << "dvdispatch: worker exit: " << fabric::to_string(exit_code)
+            << "\n";
+  switch (exit_code) {
+    case fabric::WorkerExit::kShutdown:
+    case fabric::WorkerExit::kStopped:
+      return 0;
+    case fabric::WorkerExit::kDied:
+      return 3;
+    case fabric::WorkerExit::kConnectFailed:
+      return 2;
+  }
+  return 2;
+}
+
+int run_local(const Cli& cli) {
+  const SweepSpec spec = build_spec(cli);
+  const SweepResult result = run_sweep(spec);
+  report(spec, result);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  if (!parse_cli(argc, argv, cli)) return usage(argv[0]);
+  try {
+    switch (cli.role) {
+      case Cli::Role::kCoordinator: return run_coordinator(cli);
+      case Cli::Role::kWorker: return run_worker_role(cli);
+      case Cli::Role::kLocal: return run_local(cli);
+      case Cli::Role::kNone: break;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "dvdispatch: " << e.what() << "\n";
+    return 2;
+  }
+  return usage(argv[0]);
+}
