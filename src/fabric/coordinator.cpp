@@ -352,6 +352,10 @@ struct Coordinator::Impl {
         const std::size_t unit_id = pending.front();
         pending.pop_front();
         Unit& unit = units[unit_id];
+        // Lazy delete: a straggler result can complete a unit while a
+        // re-issued copy of its id still sits queued; leasing that copy
+        // would execute and merge the unit twice.
+        if (unit.state != Unit::State::kPending) continue;
         unit.state = Unit::State::kLeased;
         unit.holder = conn->id;
         unit.deadline =
@@ -587,6 +591,9 @@ struct Coordinator::Impl {
         continue;
       }
       Unit& unit = units[out_unit];
+      // Same lazy delete as grant(): skip ids whose unit a straggler
+      // result already completed while they waited in the queue.
+      if (unit.state != Unit::State::kPending) continue;
       unit.state = Unit::State::kLeased;
       unit.holder = holder;
       note_claim_locked(unit.case_index, holder);

@@ -27,7 +27,9 @@ enum class SessionEnd {
   kShutdown,  // coordinator said goodbye
   kDied,      // die_after_units fired
   kStopped,   // external stop flag
-  kLost,      // transport failed; caller may reconnect
+  kLost,      // transport failed after a completed handshake; reconnect
+  kRejected,  // failed before the hello exchange completed; spend the
+              // connect-attempt budget instead of retrying forever
 };
 
 /// State shared between the session's reader, executors, and heartbeat.
@@ -128,7 +130,11 @@ SessionEnd run_session(Socket socket, const WorkerOptions& options,
   WorkerSession session;
   session.socket = std::move(socket);
 
-  // Handshake: our capabilities out, the sweep's case table back.
+  // Handshake: our capabilities out, the sweep's case table back.  Until
+  // the coordinator's hello is accepted every failure is a rejection, not
+  // a loss -- a schema-mismatched or misbehaving coordinator must drain
+  // the connect-attempt budget, not trigger endless reconnects.
+  bool handshake_done = false;
   HelloFrame hello;
   hello.coordinator = false;
   hello.build = artifact_git_describe();
@@ -140,13 +146,14 @@ SessionEnd run_session(Socket socket, const WorkerOptions& options,
     }
     session.socket.set_recv_timeout_ms(10000);
     const auto reply_bytes = session.socket.recv_frame(kMaxFrameBytes);
-    if (!reply_bytes.has_value()) return SessionEnd::kLost;
+    if (!reply_bytes.has_value()) return SessionEnd::kRejected;
     Frame reply = decode_frame(*reply_bytes);
     HelloFrame* coord = std::get_if<HelloFrame>(&reply);
     if (coord == nullptr || !coord->coordinator ||
         coord->schema != kFabricSchema) {
-      return SessionEnd::kLost;
+      return SessionEnd::kRejected;
     }
+    handshake_done = true;
     session.cases = std::move(coord->cases);
     const std::uint64_t heartbeat_ms =
         coord->heartbeat_ms != 0 ? coord->heartbeat_ms : 1000;
@@ -244,10 +251,24 @@ SessionEnd run_session(Socket socket, const WorkerOptions& options,
     }
     return end;
   } catch (const SocketError&) {
-    return SessionEnd::kLost;
+    return handshake_done ? SessionEnd::kLost : SessionEnd::kRejected;
   } catch (const DecodeError&) {
-    return SessionEnd::kLost;
+    return handshake_done ? SessionEnd::kLost : SessionEnd::kRejected;
   }
+}
+
+/// Sliced backoff sleep so a stop flag is honored promptly even at the
+/// cap; returns false when stopped.
+bool backoff_sleep(const WorkerOptions& options, std::uint64_t backoff_ms) {
+  std::uint64_t waited = 0;
+  while (waited < backoff_ms) {
+    if (options.stop != nullptr && options.stop->load()) return false;
+    const std::uint64_t slice =
+        std::min<std::uint64_t>(50, backoff_ms - waited);
+    std::this_thread::sleep_for(std::chrono::milliseconds(slice));
+    waited += slice;
+  }
+  return true;
 }
 
 }  // namespace
@@ -273,41 +294,44 @@ WorkerExit run_worker(const WorkerOptions& options) {
       return WorkerExit::kStopped;
     }
     Socket socket;
+    bool connected = false;
     try {
       socket = connect_to(options.host, options.port);
+      connected = true;
     } catch (const SocketError&) {
-      if (++attempts >= options.max_connect_attempts) {
-        return WorkerExit::kConnectFailed;
-      }
-      // Bounded exponential backoff, sliced so a stop flag is honored
-      // promptly even at the cap.
-      std::uint64_t waited = 0;
-      while (waited < backoff_ms) {
-        if (options.stop != nullptr && options.stop->load()) {
-          return WorkerExit::kStopped;
-        }
-        const std::uint64_t slice = std::min<std::uint64_t>(
-            50, backoff_ms - waited);
-        std::this_thread::sleep_for(std::chrono::milliseconds(slice));
-        waited += slice;
-      }
-      backoff_ms = std::min(backoff_ms * 2, options.backoff_max_ms);
-      continue;
     }
 
-    switch (run_session(std::move(socket), options, slots)) {
-      case SessionEnd::kShutdown: return WorkerExit::kShutdown;
-      case SessionEnd::kDied: return WorkerExit::kDied;
-      case SessionEnd::kStopped: return WorkerExit::kStopped;
-      case SessionEnd::kLost:
-        // Reconnect from a fresh backoff; the handshake succeeded, so
-        // the address is right and the coordinator may just be busy.
-        attempts = 0;
-        backoff_ms = options.backoff_initial_ms;
-        std::this_thread::sleep_for(
-            std::chrono::milliseconds(options.backoff_initial_ms));
-        break;
+    if (connected) {
+      bool retry_session = false;
+      switch (run_session(std::move(socket), options, slots)) {
+        case SessionEnd::kShutdown: return WorkerExit::kShutdown;
+        case SessionEnd::kDied: return WorkerExit::kDied;
+        case SessionEnd::kStopped: return WorkerExit::kStopped;
+        case SessionEnd::kLost:
+          // Reconnect from a fresh budget; the handshake completed, so
+          // the address and schema are right and the coordinator may
+          // just be busy or restarting.
+          attempts = 0;
+          backoff_ms = options.backoff_initial_ms;
+          retry_session = true;
+          break;
+        case SessionEnd::kRejected:
+          // Pre-handshake failure: treated exactly like a refused
+          // connection below, so an incompatible coordinator eventually
+          // yields kConnectFailed instead of reconnecting forever.
+          break;
+      }
+      if (retry_session) {
+        if (!backoff_sleep(options, backoff_ms)) return WorkerExit::kStopped;
+        continue;
+      }
     }
+
+    if (++attempts >= options.max_connect_attempts) {
+      return WorkerExit::kConnectFailed;
+    }
+    if (!backoff_sleep(options, backoff_ms)) return WorkerExit::kStopped;
+    backoff_ms = std::min(backoff_ms * 2, options.backoff_max_ms);
   }
 }
 

@@ -47,7 +47,8 @@ enum class WorkerExit {
   kDied,
   /// The external stop flag was raised.
   kStopped,
-  /// Could not (re)connect within the attempt budget.
+  /// Could not (re)connect -- or could not complete the handshake --
+  /// within the attempt budget.
   kConnectFailed,
 };
 

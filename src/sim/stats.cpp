@@ -109,8 +109,12 @@ void CaseResult::decode_body(Decoder& dec) {
   successes = dec.get_varint();
   const std::uint64_t outcomes = dec.get_varint();
   // One bit per run: anything beyond a billion runs in one shard result is
-  // a corrupt frame, not a sweep this simulator could have produced.
-  if (outcomes > (std::uint64_t{1} << 30)) {
+  // a corrupt frame, not a sweep this simulator could have produced.  The
+  // count must also be backed by the bytes actually present (eight
+  // outcomes per byte), so a tiny hostile frame claiming a huge count
+  // fails here, before the reserve commits the allocation.
+  if (outcomes > (std::uint64_t{1} << 30) ||
+      (outcomes + 7) / 8 > dec.remaining()) {
     throw DecodeError("implausible per-run outcome count " +
                       std::to_string(outcomes));
   }

@@ -1,6 +1,7 @@
 #include "util/env.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <cerrno>
 #include <cmath>
 #include <cstdlib>
@@ -50,8 +51,11 @@ std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
   // A negative number parses (strtoull wraps it) and an over-wide one
   // saturates with ERANGE; both are values the variable cannot hold, not
   // syntax errors -- surface them as out-of-range instead of applying a
-  // silently wrapped/clamped number.
-  if (raw->front() == '-' || errno == ERANGE) {
+  // silently wrapped/clamped number.  strtoull skips leading whitespace
+  // before the sign, so scan past it the same way before looking for '-'.
+  const char* first = raw->c_str();
+  while (std::isspace(static_cast<unsigned char>(*first)) != 0) ++first;
+  if (*first == '-' || errno == ERANGE) {
     warn_out_of_range(name, *raw, std::to_string(fallback));
     return fallback;
   }

@@ -47,6 +47,14 @@ TEST_F(EnvTest, OutOfRangeValuesWarnInsteadOfClamping) {
   EXPECT_NE(log.find("out-of-range"), std::string::npos) << log;
   EXPECT_NE(log.find("-5"), std::string::npos) << log;
 
+  // strtoull skips leading whitespace before the sign, so a padded
+  // negative must be caught the same way, not wrap to near-2^64.
+  ::setenv(kName, " -5", 1);
+  ::testing::internal::CaptureStderr();
+  EXPECT_EQ(env_u64(kName, 30000), 30000u);
+  log = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(log.find("out-of-range"), std::string::npos) << log;
+
   // Wider than 64 bits saturates with ERANGE: also out-of-range, never
   // the clamped ULLONG_MAX.
   ::setenv(kName, "99999999999999999999999999", 1);

@@ -11,8 +11,11 @@
 // results are dropped idempotently.
 #include "fabric/coordinator.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <string>
@@ -417,6 +420,140 @@ TEST(FabricSystem, DuplicateLateResultsAreDropped) {
   EXPECT_GE(distributed.fabric.duplicate_results, 1u);
   EXPECT_EQ(manifest_results_json(spec, distributed),
             manifest_results_json(spec, expected));
+}
+
+TEST(FabricSystem, StragglerResultDoesNotDoubleMergeReissuedUnit) {
+  // Regression: a straggler result arriving for a unit the lease reaper
+  // already put back on the pending queue marks the unit done while its
+  // id still sits queued.  That stale queue entry must be skipped (lazy
+  // delete), never re-leased -- re-granting it would execute and merge
+  // the unit twice and finalize the case with a shard missing, breaking
+  // the bit-identical fingerprint.
+  SweepSpec spec;
+  spec.min_shard_runs = 8;
+  SweepCase only;
+  only.spec = small_case(RunMode::kFreshStart);
+  only.spec.runs = 16;  // exactly two units
+  spec.cases.push_back(only);
+  NullProgress quiet;
+  spec.progress = &quiet;
+
+  const SweepResult expected = run_sweep(spec);
+
+  CoordinatorOptions options;
+  options.local_jobs = 0;  // dispatch-only: every unit goes to the client
+  options.heartbeat_ms = 100;
+  options.lease_ms = 150;
+  Coordinator coordinator(spec, options);
+
+  // A protocol client that gets both units up front, answers the first
+  // only after its lease expired and the reaper re-queued both (a
+  // straggler), and sits on the other original lease.  The grant that
+  // follows the straggler result then reads the head of the re-queued
+  // pending queue -- the just-completed unit's stale entry -- while the
+  // other unit is still unfinished.  Re-issued leases (a unit id seen
+  // before) are answered immediately, so a buggy re-grant of the done
+  // unit produces a mid-sweep duplicate merge instead of a post-drain
+  // no-op.
+  std::thread client([port = coordinator.port()] {
+    Socket socket = connect_to("127.0.0.1", port);
+    HelloFrame hello;
+    hello.coordinator = false;
+    hello.slots = 1;
+    socket.send_frame(encode_frame(Frame{hello}));
+    const auto reply = socket.recv_frame(kMaxFrameBytes);
+    ASSERT_TRUE(reply.has_value());
+    const Frame reply_frame = decode_frame(*reply);
+    const auto& coord = std::get<HelloFrame>(reply_frame);
+    ASSERT_TRUE(coord.coordinator);
+    socket.set_recv_timeout_ms(5000);
+    std::vector<std::uint64_t> seen;
+    bool answered_first = false;
+    for (;;) {
+      std::optional<std::vector<std::byte>> payload;
+      try {
+        payload = socket.recv_frame(kMaxFrameBytes);
+      } catch (const SocketError&) {
+        break;
+      }
+      if (!payload.has_value()) break;
+      Frame incoming = decode_frame(*payload);
+      if (const LeaseFrame* lease = std::get_if<LeaseFrame>(&incoming)) {
+        const bool reissued =
+            std::find(seen.begin(), seen.end(), lease->unit_id) != seen.end();
+        seen.push_back(lease->unit_id);
+        if (!reissued) {
+          if (answered_first) continue;  // stall on other original leases
+          answered_first = true;
+          // Outlive the lease deadline plus a reap cycle.
+          std::this_thread::sleep_for(std::chrono::milliseconds(400));
+        }
+        ResultFrame result;
+        result.unit_id = lease->unit_id;
+        result.result =
+            execute_unit(coord.cases[lease->case_index].spec, *lease);
+        try {
+          socket.send_frame(encode_frame(Frame{result}));
+        } catch (const SocketError&) {
+          break;  // coordinator drained and hung up mid-straggle
+        }
+      } else if (std::get_if<ShutdownFrame>(&incoming) != nullptr) {
+        break;
+      }
+    }
+  });
+
+  const SweepResult distributed = coordinator.run();
+  client.join();
+
+  EXPECT_GE(distributed.fabric.units_reissued, 1u);
+  EXPECT_EQ(manifest_results_json(spec, distributed),
+            manifest_results_json(spec, expected));
+  EXPECT_EQ(results_fingerprint(spec, distributed),
+            results_fingerprint(spec, expected));
+}
+
+TEST(FabricSystem, PreHandshakeFailuresExhaustConnectBudget) {
+  // Regression: a coordinator that never completes the hello exchange
+  // must drain the worker's connect-attempt budget; previously every
+  // dropped handshake re-armed the budget and the worker reconnected
+  // forever instead of exiting kConnectFailed.
+  Listener listener(0);
+  std::atomic<bool> accepting{true};
+  std::thread rejecter([&listener, &accepting] {
+    while (accepting.load()) {
+      try {
+        // Accept and immediately drop: the worker's hello is never
+        // answered, so its session ends before the handshake completes.
+        (void)listener.accept(50);
+      } catch (const SocketError&) {
+        break;
+      }
+    }
+  });
+
+  WorkerOptions options;
+  options.port = listener.port();
+  options.slots = 1;
+  options.max_connect_attempts = 3;
+  options.backoff_initial_ms = 10;
+  options.backoff_max_ms = 20;
+  // Watchdog so a regression fails as kStopped instead of hanging.
+  std::atomic<bool> stop{false};
+  options.stop = &stop;
+  std::thread watchdog([&stop] {
+    for (int i = 0; i < 500 && !stop.load(); ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    stop.store(true);
+  });
+
+  const WorkerExit exit_code = run_worker(options);
+  stop.store(true);
+  accepting.store(false);
+  watchdog.join();
+  rejecter.join();
+  EXPECT_EQ(exit_code, WorkerExit::kConnectFailed);
 }
 
 TEST(FabricSystem, CoordinatorAloneBehavesLikeRunSweep) {

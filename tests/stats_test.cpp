@@ -2,6 +2,7 @@
 
 #include "sim/stats.hpp"
 #include "sim/table.hpp"
+#include "util/codec.hpp"
 
 namespace dynvote {
 namespace {
@@ -137,6 +138,19 @@ TEST(CaseResult, PairedComparisonRequiresEqualLength) {
   RunResult r;
   a.record(r);
   EXPECT_THROW((void)percent_a_wins(a, b), PreconditionViolation);
+}
+
+TEST(CaseResult, HostileOutcomeCountFailsBeforeAllocation) {
+  // A tiny frame claiming the maximum plausible outcome count must be
+  // rejected against the bytes actually present -- before the decoder
+  // reserves a vector sized by the attacker-controlled count.
+  Encoder enc;
+  enc.put_varint(48);                       // runs
+  enc.put_varint(40);                       // successes
+  enc.put_varint(std::uint64_t{1} << 30);   // outcomes, with no bytes behind
+  Decoder dec(enc.bytes());
+  CaseResult r;
+  EXPECT_THROW(r.decode_body(dec), DecodeError);
 }
 
 TEST(TextTable, AlignsAndRenders) {
