@@ -18,7 +18,7 @@
 #include "core/payload.hpp"
 #include "core/quorum.hpp"
 #include "runner/artifact.hpp"
-#include "runner/json.hpp"
+#include "util/json.hpp"
 #include "sim/driver.hpp"
 #include "util/alloc_stats.hpp"
 #include "util/rng.hpp"

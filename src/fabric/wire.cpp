@@ -33,10 +33,17 @@ RunMode mode_from_wire(std::uint8_t raw) {
   return static_cast<RunMode>(raw);
 }
 
+FaultModelKind fault_model_from_wire(std::uint8_t raw) {
+  if (raw > static_cast<std::uint8_t>(FaultModelKind::kTrace)) {
+    throw DecodeError("unknown fault model kind " + std::to_string(raw) +
+                      " in case descriptor");
+  }
+  return static_cast<FaultModelKind>(raw);
+}
+
 }  // namespace
 
-void CaseDescriptor::encode_body(Encoder& enc,
-                                 std::uint64_t /*version*/) const {
+void CaseDescriptor::encode_body(Encoder& enc, std::uint64_t version) const {
   if (spec.algorithm_factory) {
     // A std::function cannot travel; the coordinator refuses such sweeps
     // before any worker connects rather than silently running the wrong
@@ -45,6 +52,13 @@ void CaseDescriptor::encode_body(Encoder& enc,
         "case '" + label +
         "' uses a custom algorithm factory and cannot be dispatched "
         "to remote workers");
+  }
+  if (version < 3 && spec.fault_model.kind != FaultModelKind::kGeometric) {
+    // A pre-v3 peer would silently run the geometric model instead.
+    throw std::invalid_argument(
+        "case '" + label + "' uses the " +
+        std::string(to_string(spec.fault_model.kind)) +
+        " fault model, which needs wire protocol v3");
   }
   enc.put_string(label);
   enc.put_u8(static_cast<std::uint8_t>(spec.algorithm));
@@ -57,9 +71,16 @@ void CaseDescriptor::encode_body(Encoder& enc,
   enc.put_varint(spec.base_seed);
   enc.put_bool(spec.measure_wire_sizes);
   enc.put_bool(spec.check_invariants);
+  if (version >= 3) {
+    enc.put_u8(static_cast<std::uint8_t>(spec.fault_model.kind));
+    put_double(enc, spec.fault_model.wake_bias);
+    enc.put_varint(spec.fault_model.repair_capacity);
+    put_double(enc, spec.fault_model.repair_mean_rounds);
+    enc.put_string(spec.fault_model.trace_json);
+  }
 }
 
-void CaseDescriptor::decode_body(Decoder& dec, std::uint64_t /*version*/) {
+void CaseDescriptor::decode_body(Decoder& dec, std::uint64_t version) {
   label = dec.get_string();
   spec.algorithm = algorithm_from_wire(dec.get_u8());
   spec.algorithm_factory = nullptr;
@@ -72,6 +93,15 @@ void CaseDescriptor::decode_body(Decoder& dec, std::uint64_t /*version*/) {
   spec.base_seed = dec.get_varint();
   spec.measure_wire_sizes = dec.get_bool();
   spec.check_invariants = dec.get_bool();
+  if (version >= 3) {
+    spec.fault_model.kind = fault_model_from_wire(dec.get_u8());
+    spec.fault_model.wake_bias = get_double(dec);
+    spec.fault_model.repair_capacity = dec.get_varint();
+    spec.fault_model.repair_mean_rounds = get_double(dec);
+    spec.fault_model.trace_json = dec.get_string();
+  } else {
+    spec.fault_model = FaultModelParams{};
+  }
 }
 
 void HelloFrame::encode_body(Encoder& enc, std::uint64_t version) const {

@@ -46,10 +46,13 @@ namespace dynvote::fabric {
 inline constexpr std::string_view kFabricSchema = "dynvote.fabric.v1";
 
 /// Envelope version stamped on every frame.  v1 was the initial protocol;
-/// v2 added HeartbeatFrame::busy_seconds (worker-utilization telemetry).
-/// Decoders gate every post-v1 field on the envelope version, so a v2
-/// coordinator still understands a v1 worker's frames and vice versa.
-inline constexpr std::uint64_t kFrameVersion = 2;
+/// v2 added HeartbeatFrame::busy_seconds (worker-utilization telemetry);
+/// v3 added the fault-model block to CaseDescriptor (kind + parameters +
+/// trace document).  Decoders gate every post-v1 field on the envelope
+/// version, so a v3 coordinator still understands a v1 worker's frames and
+/// vice versa -- but encoding a non-geometric case at pre-v3 throws rather
+/// than letting an old peer silently run the wrong model.
+inline constexpr std::uint64_t kFrameVersion = 3;
 
 /// Hard cap on one frame's payload, enforced on both the socket read of
 /// the length prefix and the codec's per-item decode cap.  Far above any

@@ -175,6 +175,27 @@ void Gcs::apply_crash(ProcessId p, Network::CrossDeliveryFn crosses) {
   crashed_.insert(p);
 }
 
+void Gcs::apply_sleep(ProcessId p) {
+  // A graceful leave: the sleeper's in-flight multicasts all escape to the
+  // survivors before it goes (no delivery coin).  Everything else --
+  // isolation into a singleton component, the survivors' new view, joining
+  // the inactive set -- is exactly the crash path.
+  const auto always_crosses = [](ProcessId) { return true; };
+  apply_crash(p, Network::CrossDeliveryFn(always_crosses));
+}
+
+void Gcs::apply_wake(ProcessId p, ProcessId into) {
+  DV_REQUIRE(p < algorithms_.size(), "process id out of range");
+  DV_REQUIRE(crashed_.contains(p), "process is not asleep");
+  DV_REQUIRE(into < algorithms_.size() && !crashed_.contains(into) &&
+                 into != p,
+             "wake target must be a distinct active process");
+  crashed_.erase(p);
+  // The sleeper kept its state; it rejoins the target's component in one
+  // merge, so everyone -- waker included -- sees a single join view.
+  apply_merge(topology_.component_of(into), topology_.component_of(p));
+}
+
 void Gcs::apply_recovery(ProcessId p) {
   DV_REQUIRE(p < algorithms_.size(), "process id out of range");
   DV_REQUIRE(crashed_.contains(p), "process is not crashed");

@@ -126,7 +126,21 @@ class Gcs {
   /// singleton view -- and reconnects through ordinary merges.
   void apply_recovery(ProcessId p);
 
-  /// Currently crashed processes.
+  /// Sleepy participation (TOB-SVD-style): the process leaves gracefully.
+  /// Identical to a crash except that every message it had in flight
+  /// escapes to the survivors (a sleeper drains its buffers; a crash loses
+  /// them to the coin).  The sleeper joins the crash set -- which is
+  /// therefore really the "inactive" set -- until apply_wake.
+  void apply_sleep(ProcessId p);
+
+  /// Wake a sleeping (or repaired) process: it leaves the inactive set and
+  /// its singleton component merges with the component of `into`, so the
+  /// whole group receives ONE join view.  Contrast apply_recovery, where
+  /// the process first observes a singleton view and must be merged back
+  /// explicitly.
+  void apply_wake(ProcessId p, ProcessId into);
+
+  /// Currently crashed (or sleeping -- see apply_sleep) processes.
   const ProcessSet& crashed() const { return crashed_; }
   bool is_crashed(ProcessId p) const { return crashed_.contains(p); }
 

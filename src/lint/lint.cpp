@@ -13,7 +13,7 @@
 
 #include "lint/parse.hpp"
 #include "lint/source.hpp"
-#include "runner/json.hpp"
+#include "util/json.hpp"
 
 namespace dynvote::lint {
 

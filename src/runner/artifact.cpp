@@ -6,7 +6,7 @@
 #include <fstream>
 #include <string_view>
 
-#include "runner/json.hpp"
+#include "util/json.hpp"
 #include "util/env.hpp"
 #include "util/logging.hpp"
 
@@ -28,6 +28,15 @@ void histogram_json(JsonWriter& json, const AmbiguityHistogram& histogram) {
   json.end_object();
 }
 
+std::uint64_t fnv1a(std::string_view bytes);
+
+std::string hex16(std::uint64_t hash) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(hash));
+  return std::string(buf);
+}
+
 /// Per-case document.  `include_volatile` adds the timing and scheduling
 /// telemetry that legitimately differs between reruns of the same sweep;
 /// the deterministic-results view leaves it out.
@@ -41,6 +50,32 @@ void case_json(JsonWriter& json, const CaseOutcome& outcome,
   json.key("changes").value(static_cast<std::uint64_t>(spec.changes));
   json.key("rate").value(spec.mean_rounds);
   json.key("crash_fraction").value(spec.crash_fraction);
+  // Model-scoped fingerprints: the block names the fault model and its
+  // parameters, and it is part of the results document -- a sleepy sweep
+  // can never fingerprint-match a geometric one.  Geometric cases omit the
+  // block entirely (same discipline as steady_allocs_per_round) so every
+  // pre-existing baseline fingerprint is preserved bit-for-bit.
+  if (spec.fault_model.kind != FaultModelKind::kGeometric) {
+    const FaultModelParams& model = spec.fault_model;
+    json.key("fault_model").begin_object();
+    json.key("model").value(to_string(model.kind));
+    switch (model.kind) {
+      case FaultModelKind::kGeometric:
+        break;
+      case FaultModelKind::kSleepy:
+        json.key("wake_bias").value(model.wake_bias);
+        break;
+      case FaultModelKind::kRepairable:
+        json.key("repair_capacity").value(model.repair_capacity);
+        json.key("repair_mean_rounds").value(model.repair_mean_rounds);
+        break;
+      case FaultModelKind::kTrace:
+        // The document itself may be huge; its hash pins the schedule.
+        json.key("trace_fingerprint").value(hex16(fnv1a(model.trace_json)));
+        break;
+    }
+    json.end_object();
+  }
   json.key("mode").value(to_string(spec.mode));
   json.key("base_seed").value(spec.base_seed);
   json.key("runs").value(r.runs);

@@ -103,6 +103,22 @@ std::string case_label(const SweepCase& sweep_case) {
   if (spec.crash_fraction > 0.0) {
     os << " crash=" << format_double(spec.crash_fraction, 2);
   }
+  switch (spec.fault_model.kind) {
+    case FaultModelKind::kGeometric:
+      break;  // the default regime goes unlabeled, as it always has
+    case FaultModelKind::kSleepy:
+      os << " sleepy[wake=" << format_double(spec.fault_model.wake_bias, 2)
+         << ']';
+      break;
+    case FaultModelKind::kRepairable:
+      os << " repair[k=" << spec.fault_model.repair_capacity
+         << ",mr=" << format_double(spec.fault_model.repair_mean_rounds, 0)
+         << ']';
+      break;
+    case FaultModelKind::kTrace:
+      os << " trace";
+      break;
+  }
   os << ' ' << to_string(spec.mode);
   return os.str();
 }

@@ -12,7 +12,8 @@ namespace dynvote {
 namespace {
 Gcs make_gcs(const SimulationConfig& config) {
   const GcsOptions options{.measure_wire_sizes = config.measure_wire_sizes,
-                           .delivery_seed = mix_seed(config.seed, 0xDE11u),
+                           .delivery_seed =
+                               child_seed(config.seed, kDeliveryStreamTag),
                            .serialize_on_wire = config.serialize_on_wire};
   if (config.algorithm_factory) {
     return Gcs(config.algorithm_factory, config.processes, options);
@@ -24,8 +25,9 @@ Gcs make_gcs(const SimulationConfig& config) {
 Simulation::Simulation(const SimulationConfig& config)
     : config_(config),
       gcs_(make_gcs(config)),
-      scheduler_(config.seed, config.mean_rounds_between_changes,
-                 config.crash_fraction),
+      model_(make_fault_model(config.fault_model, config.seed,
+                              config.mean_rounds_between_changes,
+                              config.crash_fraction, config.processes)),
       checker_(gcs_) {
   DV_REQUIRE(config.processes >= 2, "the study needs at least two processes");
   DV_REQUIRE(config.observer < config.processes, "observer id out of range");
@@ -36,21 +38,8 @@ void Simulation::step_round() {
   if (config_.check_invariants) checker_.check(gcs_);
 }
 
-void Simulation::apply(const ConnectivityChange& change) {
-  switch (change.kind) {
-    case ConnectivityChange::Kind::kPartition:
-      gcs_.apply_partition(change.component_a, change.moved);
-      break;
-    case ConnectivityChange::Kind::kMerge:
-      gcs_.apply_merge(change.component_a, change.component_b);
-      break;
-    case ConnectivityChange::Kind::kCrash:
-      gcs_.apply_crash(change.process);
-      break;
-    case ConnectivityChange::Kind::kRecovery:
-      gcs_.apply_recovery(change.process);
-      break;
-  }
+void Simulation::apply_next_fault() {
+  model_->apply_next(gcs_);
   ++total_changes_;
   if (config_.check_invariants) checker_.check(gcs_);
 }
@@ -59,8 +48,16 @@ bool Simulation::step_event() {
   RunResult& result = progress_.partial;
 
   if (progress_.phase == RunProgress::Phase::kInjecting) {
+    // A finite schedule (trace replay) may run dry before the change
+    // budget; the run then stabilizes early.  Checked only between events
+    // -- a drawn gap means an event is still pending.
+    if (!progress_.gap_drawn && model_->exhausted()) {
+      progress_.phase = RunProgress::Phase::kStabilizing;
+      progress_.quiet_rounds = 0;
+      return false;
+    }
     if (!progress_.gap_drawn) {
-      progress_.gap_remaining = scheduler_.next_gap();
+      progress_.gap_remaining = model_->next_gap();
       progress_.gap_drawn = true;
     }
     if (progress_.gap_remaining > 0) {
@@ -72,7 +69,7 @@ bool Simulation::step_event() {
     }
     result.observer_ambiguous_at_changes.push_back(
         gcs_.algorithm(config_.observer).debug_info().ambiguous_count);
-    apply(scheduler_.next_change(gcs_.topology(), gcs_.crashed()));
+    apply_next_fault();
     ++result.changes_applied;
     progress_.gap_drawn = false;
     if (++progress_.change_index == config_.changes_per_run) {
@@ -163,7 +160,14 @@ RunResult decode_run_result(Decoder& dec) {
 
 void Simulation::save(Encoder& enc) const {
   gcs_.save(enc);
-  scheduler_.save(enc);
+  // The fault model writes a named, length-prefixed blob (like the
+  // algorithm instances) so a snapshot can never be misread by a
+  // simulation running a different model.
+  enc.put_string(model_->name());
+  Encoder model_state;
+  model_->save(model_state);
+  const std::vector<std::byte> model_bytes = model_state.take();
+  enc.put_bytes(model_bytes);
   checker_.save(enc);
   enc.put_varint(total_changes_);
   enc.put_bool(last_round_active_);
@@ -179,7 +183,16 @@ void Simulation::save(Encoder& enc) const {
 
 void Simulation::load(Decoder& dec) {
   gcs_.load(dec);
-  scheduler_.load(dec);
+  const std::string model_name = dec.get_string();
+  if (model_name != model_->name()) {
+    throw DecodeError("snapshot drives fault model \"" + model_name +
+                      "\", this simulation runs \"" +
+                      std::string(model_->name()) + "\"");
+  }
+  const std::vector<std::byte> model_bytes = dec.get_bytes();
+  Decoder model_state(model_bytes);
+  model_->load(model_state);
+  model_state.finish();
   checker_.load(dec);
   total_changes_ = dec.get_varint();
   last_round_active_ = dec.get_bool();

@@ -14,11 +14,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "gcs/gcs.hpp"
-#include "sim/fault_schedule.hpp"
+#include "sim/fault_model.hpp"
 #include "sim/invariants.hpp"
 
 namespace dynvote {
@@ -35,8 +36,11 @@ struct SimulationConfig {
   double mean_rounds_between_changes = 4.0;
   /// Extension (thesis §5.1): fraction of injected faults that are process
   /// crashes/recoveries rather than connectivity changes.  0 = the paper's
-  /// model, with bit-identical schedules.
+  /// model, with bit-identical schedules.  (Geometric model only.)
   double crash_fraction = 0.0;
+  /// Which fault model drives the run and its model-specific knobs; the
+  /// default geometric model reproduces the thesis's schedules exactly.
+  FaultModelParams fault_model;
   std::uint64_t seed = 1;
   /// Run the safety checker after every round and change.
   bool check_invariants = true;
@@ -122,7 +126,7 @@ class Simulation {
   std::uint64_t total_changes() const { return total_changes_; }
   std::uint64_t invariant_checks() const { return checker_.checks_performed(); }
 
-  /// Serialize all mutable state (GCS, fault stream, checker history, run
+  /// Serialize all mutable state (GCS, fault model, checker history, run
   /// progress).  Configuration is not written; `load` restores into a
   /// Simulation constructed with an identical config, which the snapshot
   /// envelope (sim/snapshot.hpp) enforces.
@@ -130,7 +134,7 @@ class Simulation {
   void load(Decoder& dec);
 
  private:
-  void apply(const ConnectivityChange& change);
+  void apply_next_fault();
   void step_round();
   /// Execute one event; returns true when it completed the active run.
   bool step_event();
@@ -138,7 +142,7 @@ class Simulation {
   // Pinned by the snapshot envelope's config trajectory hash, not written.
   SimulationConfig config_;  // dvlint: transient(constructor configuration)
   Gcs gcs_;
-  FaultScheduler scheduler_;
+  std::unique_ptr<FaultModel> model_;
   InvariantChecker checker_;
   std::uint64_t total_changes_ = 0;
   bool last_round_active_ = true;

@@ -25,6 +25,7 @@ SimulationConfig config_for(const CaseSpec& spec, std::uint64_t seed) {
   config.changes_per_run = spec.changes;
   config.mean_rounds_between_changes = spec.mean_rounds;
   config.crash_fraction = spec.crash_fraction;
+  config.fault_model = spec.fault_model;
   config.seed = seed;
   config.check_invariants = spec.check_invariants;
   config.measure_wire_sizes = spec.measure_wire_sizes;

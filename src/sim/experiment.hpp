@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/fault_model.hpp"
 #include "sim/stats.hpp"
 
 namespace dynvote {
@@ -34,6 +35,10 @@ struct CaseSpec {
   double mean_rounds = 4.0;
   /// Extension: fraction of faults that are crashes/recoveries (§5.1).
   double crash_fraction = 0.0;
+  /// Which fault model drives the runs (geometric = the thesis's regime).
+  /// Non-geometric cases are labeled and fingerprinted with the model name
+  /// and parameters, so their manifests never collide with geometric ones.
+  FaultModelParams fault_model;
   std::uint64_t runs = 1000;
   RunMode mode = RunMode::kFreshStart;
   std::uint64_t base_seed = 0x5eedu;

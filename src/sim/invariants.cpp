@@ -14,6 +14,7 @@ void InvariantChecker::save(Encoder& enc) const {
   enc.put_varint(checks_);
   enc.put_varint(last_primary_numbers_.size());
   for (SessionNumber n : last_primary_numbers_) enc.put_varint(n);
+  last_formed_primary_.encode(enc);
 }
 
 void InvariantChecker::load(Decoder& dec) {
@@ -25,6 +26,7 @@ void InvariantChecker::load(Decoder& dec) {
   for (SessionNumber& v : last_primary_numbers_) {
     v = static_cast<SessionNumber>(dec.get_varint());
   }
+  last_formed_primary_ = Session::decode(dec);
 }
 
 void InvariantChecker::check(const Gcs& gcs) {
@@ -75,6 +77,29 @@ void InvariantChecker::check(const Gcs& gcs) {
         os << "primary session members " << first_primary.to_string()
            << " differ from component " << component.to_string();
         throw InvariantViolation(os.str());
+      }
+      // The primary chain (check 5): a NEW formed primary must descend
+      // from the previous one through an intersecting quorum, whichever
+      // fault model produced the turbulence in between.
+      if (!(first_primary == last_formed_primary_)) {
+        if (!last_formed_primary_.members.empty()) {
+          if (first_primary.number < last_formed_primary_.number) {
+            std::ostringstream os;
+            os << "formed primary session number went backwards: "
+               << last_formed_primary_.to_string() << " -> "
+               << first_primary.to_string();
+            throw InvariantViolation(os.str());
+          }
+          if (!first_primary.members.intersects(last_formed_primary_.members)) {
+            std::ostringstream os;
+            os << "temporally disjoint primaries: "
+               << last_formed_primary_.to_string()
+               << " and " << first_primary.to_string()
+               << " share no member -- the quorum chain is broken";
+            throw InvariantViolation(os.str());
+          }
+        }
+        last_formed_primary_ = first_primary;
       }
     }
   }

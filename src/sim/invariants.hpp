@@ -3,10 +3,22 @@
 // primary, and at all times there was at most one primary component
 // declared."  Each of the thesis's algorithms survived >1.31M connectivity
 // changes under these checks; ours run after every round and every change.
+//
+// Beyond the thesis's per-instant checks, the checker tracks the chain of
+// formed primaries across time: every newly formed primary must intersect
+// the previously formed one (the quorum it resolved through) and must not
+// carry an older session.  Two temporally disjoint primaries -- each
+// legitimate at its own instant -- would let the replicated state fork,
+// which no per-instant check can see.  This chain property is what the
+// fault-model property harness certifies for every (algorithm x model)
+// pair: it holds under geometric partitions, sleepy leaves/joins, repair
+// queues, and replayed traces alike, because every algorithm forms a new
+// primary only through a majority of the last one (or of the universe).
 #pragma once
 
 #include <vector>
 
+#include "core/session.hpp"
 #include "core/types.hpp"
 #include "gcs/gcs.hpp"
 
@@ -24,7 +36,11 @@ class InvariantChecker {
   ///  2. at most one component system-wide is a primary;
   ///  3. members of a primary component agree on the formed session, and
   ///     that session's members are exactly the component;
-  ///  4. each process's lastPrimary number never decreases.
+  ///  4. each process's lastPrimary number never decreases;
+  ///  5. model-agnostic primary chain: each newly formed primary's session
+  ///     intersects the previously formed one (live quorum chain through
+  ///     formedViews) and its session number never decreases -- so no two
+  ///     temporally disjoint primaries can ever both form.
   void check(const Gcs& gcs);
 
   std::uint64_t checks_performed() const { return checks_; }
@@ -34,6 +50,9 @@ class InvariantChecker {
 
  private:
   std::vector<SessionNumber> last_primary_numbers_;
+  /// The most recently formed primary's session; empty members = none
+  /// observed yet.
+  Session last_formed_primary_;
   std::uint64_t checks_ = 0;
 };
 

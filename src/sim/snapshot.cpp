@@ -33,6 +33,18 @@ std::uint64_t config_trajectory_hash(const SimulationConfig& config) {
   fnv.mix(config.changes_per_run);
   fnv.mix(std::bit_cast<std::uint64_t>(config.mean_rounds_between_changes));
   fnv.mix(std::bit_cast<std::uint64_t>(config.crash_fraction));
+  // The fault model shapes the trajectory as much as the rate does; every
+  // knob (used or not by the selected model) feeds the hash, including the
+  // full trace document for replays.
+  const FaultModelParams& model = config.fault_model;
+  fnv.mix(static_cast<std::uint64_t>(model.kind));
+  fnv.mix(std::bit_cast<std::uint64_t>(model.wake_bias));
+  fnv.mix(model.repair_capacity);
+  fnv.mix(std::bit_cast<std::uint64_t>(model.repair_mean_rounds));
+  fnv.mix(model.trace_json.size());
+  for (char c : model.trace_json) {
+    fnv.mix(static_cast<unsigned char>(c));
+  }
   fnv.mix(config.seed);
   fnv.mix(config.observer);
   fnv.mix(config.max_stabilization_rounds);

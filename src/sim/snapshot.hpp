@@ -4,8 +4,11 @@
 // algorithm instances, in-flight messages, topology, RNG positions, and
 // mid-run progress -- behind a small self-describing envelope:
 //
-//   schema string   "dynvote.snapshot.v1"; any layout change bumps it, so
-//                   stale snapshot bytes are rejected, never misread;
+//   schema string   "dynvote.snapshot.v2"; any layout change bumps it, so
+//                   stale snapshot bytes are rejected, never misread
+//                   (v2: the fault-model blob replaced the bare geometric
+//                   scheduler state, and the config hash covers the model
+//                   selection + parameters);
 //   algorithm id    the algorithm's name() string;
 //   git describe    the producing build, informational only (a snapshot is
 //                   portable across builds as long as schema + config
@@ -31,11 +34,11 @@
 
 namespace dynvote {
 
-inline constexpr std::string_view kSnapshotSchema = "dynvote.snapshot.v1";
+inline constexpr std::string_view kSnapshotSchema = "dynvote.snapshot.v2";
 
 /// Fingerprint of the trajectory-determining SimulationConfig fields
-/// (processes, changes, rate, crash fraction, seed, observer,
-/// stabilization budget) -- NOT the observability toggles.
+/// (processes, changes, rate, crash fraction, fault model + parameters,
+/// seed, observer, stabilization budget) -- NOT the observability toggles.
 std::uint64_t config_trajectory_hash(const SimulationConfig& config);
 
 /// Serialize `sim` behind the versioned envelope.

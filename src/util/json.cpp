@@ -1,4 +1,4 @@
-#include "runner/json.hpp"
+#include "util/json.hpp"
 
 #include <cctype>
 #include <cmath>

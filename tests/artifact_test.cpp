@@ -7,7 +7,7 @@
 #include <sstream>
 
 #include "runner/artifact.hpp"
-#include "runner/json.hpp"
+#include "util/json.hpp"
 #include "runner/sweep.hpp"
 
 namespace dynvote {

@@ -1,9 +1,16 @@
 // The randomized fault injector: distributional properties, feasibility,
-// and determinism.
+// and determinism -- plus the trace-replay decoder's negative space (a
+// malformed schedule must throw DecodeError before any simulation state
+// exists, let alone mutates).
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "sim/driver.hpp"
 #include "sim/fault_schedule.hpp"
+#include "sim/trace_model.hpp"
 #include "util/assert.hpp"
+#include "util/codec.hpp"
 
 namespace dynvote {
 namespace {
@@ -111,6 +118,114 @@ TEST(FaultScheduler, SingleProcessTopologyRejected) {
   FaultScheduler sched(1, 1.0);
   Topology topo(1);
   EXPECT_THROW(sched.next_change(topo), PreconditionViolation);
+}
+
+// --- trace replay: the decoder's negative space -----------------------
+
+const char* const kGoodTrace = R"({
+  "schema": "dynvote.trace.v1",
+  "processes": 8,
+  "events": [
+    {"at": 3,  "kind": "partition", "moved": [2, 5]},
+    {"at": 9,  "kind": "merge",     "of": [0, 2]},
+    {"at": 14, "kind": "crash",     "process": 7},
+    {"at": 20, "kind": "recovery",  "process": 7}
+  ]
+})";
+
+TEST(TraceReplay, GoodDocumentDecodesEveryEvent) {
+  const std::vector<TraceEvent> events = parse_trace(kGoodTrace, 8);
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].kind, TraceEvent::Kind::kPartition);
+  EXPECT_EQ(events[0].at, 3u);
+  EXPECT_EQ(events[0].moved, ProcessSet(8, {2, 5}));
+  EXPECT_EQ(events[1].kind, TraceEvent::Kind::kMerge);
+  EXPECT_EQ(events[1].merge_a, 0u);
+  EXPECT_EQ(events[1].merge_b, 2u);
+  EXPECT_EQ(events[2].kind, TraceEvent::Kind::kCrash);
+  EXPECT_EQ(events[2].process, 7u);
+  EXPECT_EQ(events[3].kind, TraceEvent::Kind::kRecovery);
+}
+
+TEST(TraceReplay, JsonRoundTripIsLossless) {
+  const std::vector<TraceEvent> events = parse_trace(kGoodTrace, 8);
+  const std::string rendered = trace_to_json(events, 8);
+  const std::vector<TraceEvent> again = parse_trace(rendered, 8);
+  ASSERT_EQ(again.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(again[i].at, events[i].at);
+    EXPECT_EQ(again[i].kind, events[i].kind);
+  }
+}
+
+TEST(TraceReplay, TruncatedDocumentThrows) {
+  const std::string good = kGoodTrace;
+  for (std::size_t cut : {good.size() / 4, good.size() / 2, good.size() - 2}) {
+    EXPECT_THROW(parse_trace(good.substr(0, cut), 8), DecodeError)
+        << "cut at " << cut;
+  }
+}
+
+TEST(TraceReplay, OutOfOrderTimestampsThrow) {
+  const char* const doc = R"({
+    "schema": "dynvote.trace.v1", "processes": 8,
+    "events": [
+      {"at": 9, "kind": "crash", "process": 1},
+      {"at": 3, "kind": "recovery", "process": 1}
+    ]
+  })";
+  EXPECT_THROW(parse_trace(doc, 8), DecodeError);
+}
+
+TEST(TraceReplay, EqualTimestampsThrowToo) {
+  const char* const doc = R"({
+    "schema": "dynvote.trace.v1", "processes": 8,
+    "events": [
+      {"at": 3, "kind": "crash", "process": 1},
+      {"at": 3, "kind": "recovery", "process": 1}
+    ]
+  })";
+  EXPECT_THROW(parse_trace(doc, 8), DecodeError);
+}
+
+TEST(TraceReplay, UnknownEventKindThrows) {
+  const char* const doc = R"({
+    "schema": "dynvote.trace.v1", "processes": 8,
+    "events": [{"at": 1, "kind": "reboot", "process": 1}]
+  })";
+  EXPECT_THROW(parse_trace(doc, 8), DecodeError);
+}
+
+TEST(TraceReplay, ProcessIdAtOrBeyondUniverseThrows) {
+  const char* const doc = R"({
+    "schema": "dynvote.trace.v1", "processes": 8,
+    "events": [{"at": 1, "kind": "crash", "process": 8}]
+  })";
+  EXPECT_THROW(parse_trace(doc, 8), DecodeError);
+}
+
+TEST(TraceReplay, UniverseMismatchThrows) {
+  // The document's own process count must agree with the simulation's.
+  EXPECT_THROW(parse_trace(kGoodTrace, 16), DecodeError);
+}
+
+TEST(TraceReplay, UnknownMembersAreRejected) {
+  const char* const doc = R"({
+    "schema": "dynvote.trace.v1", "processes": 8,
+    "events": [{"at": 1, "kind": "crash", "process": 1, "extra": true}]
+  })";
+  EXPECT_THROW(parse_trace(doc, 8), DecodeError);
+}
+
+TEST(TraceReplay, BadTraceThrowsBeforeSimulationStateExists) {
+  // The full path a sweep config takes: a malformed trace must abort
+  // Simulation construction (DecodeError, not an assertion mid-run).
+  SimulationConfig config;
+  config.processes = 8;
+  config.changes_per_run = 4;
+  config.fault_model.kind = FaultModelKind::kTrace;
+  config.fault_model.trace_json = R"({"schema":"dynvote.trace.v1")";
+  EXPECT_THROW(Simulation sim(config), DecodeError);
 }
 
 }  // namespace

@@ -9,7 +9,7 @@
 #include <vector>
 
 #include "lint/lint.hpp"
-#include "runner/json.hpp"
+#include "util/json.hpp"
 
 namespace dynvote::lint {
 namespace {

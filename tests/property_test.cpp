@@ -4,10 +4,15 @@
 // (the full-scale version lives in soak_test).
 #include <gtest/gtest.h>
 
+#include <string>
 #include <tuple>
+#include <vector>
 
+#include "core/quorum.hpp"
 #include "sim/driver.hpp"
 #include "sim/experiment.hpp"
+#include "sim/fault_schedule.hpp"
+#include "sim/trace_model.hpp"
 
 namespace dynvote {
 namespace {
@@ -96,6 +101,139 @@ INSTANTIATE_TEST_SUITE_P(
         if (c == '-') c = '_';
       }
       return name + "_seed" + std::to_string(std::get<1>(p.param));
+    });
+
+// ---------------------------------------------------------------------
+// Cross-model harness: every algorithm under every fault model, many
+// seeds, with the full invariant checker live.  The models produce very
+// different histories (partition storms, clean departures, crash/repair
+// churn, recorded schedules) but the safety story must be identical.
+
+/// Synthesize a feasible random trace by recording a FaultScheduler
+/// trajectory against a shadow topology -- the same generator the
+/// geometric model uses, re-expressed as a dynvote.trace.v1 document.
+std::string random_trace(std::uint64_t seed, std::size_t processes,
+                         std::size_t events) {
+  FaultScheduler sched(seed, 2.0);
+  Topology topo(processes);
+  std::vector<TraceEvent> trace;
+  trace.reserve(events);
+  std::uint64_t at = 0;
+  for (std::size_t i = 0; i < events; ++i) {
+    at += sched.next_gap() + 1;  // "at" must be strictly increasing
+    const ConnectivityChange c = sched.next_change(topo);
+    TraceEvent e;
+    e.at = at;
+    if (c.kind == ConnectivityChange::Kind::kPartition) {
+      e.kind = TraceEvent::Kind::kPartition;
+      e.moved = c.moved;
+      topo.split(c.component_a, c.moved);
+    } else {
+      // Traces address processes, never component indices.
+      e.kind = TraceEvent::Kind::kMerge;
+      e.merge_a = topo.component(c.component_a).lowest();
+      e.merge_b = topo.component(c.component_b).lowest();
+      topo.merge(c.component_a, c.component_b);
+    }
+    trace.push_back(std::move(e));
+  }
+  return trace_to_json(trace, processes);
+}
+
+std::vector<FaultModelKind> all_fault_model_kinds() {
+  return {FaultModelKind::kGeometric, FaultModelKind::kSleepy,
+          FaultModelKind::kRepairable, FaultModelKind::kTrace};
+}
+
+FaultModelParams params_for(FaultModelKind kind, std::uint64_t seed,
+                            std::size_t processes, std::size_t events) {
+  FaultModelParams params;
+  params.kind = kind;
+  if (kind == FaultModelKind::kTrace) {
+    params.trace_json = random_trace(seed, processes, events);
+  }
+  return params;
+}
+
+using CrossModelParam = std::tuple<AlgorithmKind, FaultModelKind>;
+
+class CrossModelProperties : public ::testing::TestWithParam<CrossModelParam> {
+};
+
+TEST_P(CrossModelProperties, SeededDrawsKeepInvariantsAndQuorumDiscipline) {
+  const auto [kind, model_kind] = GetParam();
+  const std::size_t kProcesses = 8;
+  std::uint64_t invariant_checks = 0;
+  for (std::uint64_t draw = 1; draw <= 32; ++draw) {
+    SimulationConfig config;
+    config.algorithm = kind;
+    config.processes = kProcesses;
+    config.changes_per_run = 6;
+    config.mean_rounds_between_changes = 2.0;
+    config.seed = draw * 977;
+    config.check_invariants = true;
+    config.fault_model = params_for(model_kind, draw, kProcesses, 6);
+
+    Simulation sim(config);
+    const RunResult r = sim.run_once();
+    EXPECT_TRUE(sim.gcs().network_idle());
+    EXPECT_LE(r.rounds_with_primary, r.rounds_executed);
+    invariant_checks += sim.invariant_checks();
+
+    // The initial-view quorum oracle: a simple-majority primary can only
+    // ever be a component forming a subquorum of the original universe
+    // (strict majority, or the exact-half lexical tie-break), whatever the
+    // fault model did to get there.
+    if (kind == AlgorithmKind::kSimpleMajority) {
+      const Gcs& gcs = sim.gcs();
+      const ProcessSet initial_view = ProcessSet::full(kProcesses);
+      for (ProcessId p = 0; p < gcs.process_count(); ++p) {
+        if (gcs.crashed().contains(p) || !gcs.algorithm(p).in_primary()) {
+          continue;
+        }
+        const ProcessSet& component =
+            gcs.topology().component(gcs.topology().component_of(p));
+        EXPECT_TRUE(
+            is_subquorum(component.minus(gcs.crashed()), initial_view))
+            << to_string(model_kind) << " draw " << draw << " process " << p;
+      }
+    }
+  }
+  EXPECT_GT(invariant_checks, 0u);
+}
+
+TEST_P(CrossModelProperties, CaseAvailabilityIsWellFormed) {
+  const auto [kind, model_kind] = GetParam();
+  CaseSpec spec;
+  spec.algorithm = kind;
+  spec.processes = 12;
+  spec.changes = 6;
+  spec.mean_rounds = 2.0;
+  spec.runs = 32;
+  spec.base_seed = 0xBEEF;
+  spec.check_invariants = true;
+  spec.fault_model = params_for(model_kind, 0xBEEF, 12, 6);
+
+  const CaseResult r = run_case(spec);
+  EXPECT_EQ(r.runs, 32u);
+  EXPECT_LE(r.successes, r.runs);
+  EXPECT_GE(r.availability_percent(), 0.0);
+  EXPECT_LE(r.availability_percent(), 100.0);
+  EXPECT_GT(r.invariant_checks, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithmsAllModels, CrossModelProperties,
+    ::testing::Combine(::testing::ValuesIn(all_algorithm_kinds()),
+                       ::testing::ValuesIn(all_fault_model_kinds())),
+    [](const ::testing::TestParamInfo<CrossModelParam>& p) {
+      std::string name(to_string(std::get<0>(p.param)));
+      name += '_';
+      name += to_string(std::get<1>(p.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
     });
 
 // YKD-specific cross-algorithm property at larger scale: the unoptimized

@@ -27,7 +27,7 @@
 #include <string>
 #include <string_view>
 
-#include "runner/json.hpp"
+#include "util/json.hpp"
 
 namespace {
 
@@ -71,6 +71,26 @@ std::string case_key(const JsonValue& c) {
       << " " << c.string_or("mode", "?");
   if (c.number_or("crash_fraction", 0.0) > 0.0) {
     key << " crash=" << c.number_or("crash_fraction", 0.0);
+  }
+  // Non-geometric cases carry a fault_model block; every parameter joins
+  // the key so differently-parameterized sweeps can never be compared as
+  // if they were the same case.
+  const JsonValue* model = c.find("fault_model");
+  if (model != nullptr && model->is_object()) {
+    key << " model=" << model->string_or("model", "?") << '[';
+    bool first = true;
+    for (const auto& [name, value] : model->members()) {
+      if (name == "model") continue;
+      if (!first) key << ',';
+      first = false;
+      key << name << '=';
+      if (value.is_number()) {
+        key << value.as_number();
+      } else if (value.is_string()) {
+        key << value.as_string();
+      }
+    }
+    key << ']';
   }
   return key.str();
 }

@@ -24,12 +24,21 @@
 //   --seed N           base seed (default DV_SEED, else 0x5eed)
 //   --mode M           fresh | cascading | both (default both)
 //   --min-shard-runs N smallest shard (default auto)
+//   --model M          fault model: geometric | sleepy | repairable | trace
+//                      (default geometric; non-geometric sweeps need wire
+//                      protocol v3 on every fabric peer)
+//   --wake-bias X      sleepy: probability a change is a wake (default 0.5)
+//   --repair-capacity N  repairable: concurrent repair slots (default 1)
+//   --repair-mean X    repairable: mean repair service rounds (default 8)
+//   --trace FILE       trace: JSON schedule document (implies --model trace)
 //
 // Exit codes: 0 success/clean shutdown, 2 usage or connection failure,
 // 3 worker died via --die-after-units (a test hook, not an error).
 #include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -84,6 +93,7 @@ struct Cli {
   bool fresh = true;
   bool cascading = true;
   std::uint64_t min_shard_runs = 0;
+  FaultModelParams fault_model;
 };
 
 bool parse_cli(int argc, char** argv, Cli& cli) {
@@ -161,6 +171,34 @@ bool parse_cli(int argc, char** argv, Cli& cli) {
     } else if (arg == "--min-shard-runs") {
       if ((value = need_value(i)) == nullptr) return false;
       cli.min_shard_runs = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--model") {
+      if ((value = need_value(i)) == nullptr) return false;
+      const auto kind = fault_model_kind_from_string(value);
+      if (!kind.has_value()) {
+        std::cerr << "dvdispatch: unknown fault model '" << value << "'\n";
+        return false;
+      }
+      cli.fault_model.kind = *kind;
+    } else if (arg == "--wake-bias") {
+      if ((value = need_value(i)) == nullptr) return false;
+      cli.fault_model.wake_bias = std::strtod(value, nullptr);
+    } else if (arg == "--repair-capacity") {
+      if ((value = need_value(i)) == nullptr) return false;
+      cli.fault_model.repair_capacity = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--repair-mean") {
+      if ((value = need_value(i)) == nullptr) return false;
+      cli.fault_model.repair_mean_rounds = std::strtod(value, nullptr);
+    } else if (arg == "--trace") {
+      if ((value = need_value(i)) == nullptr) return false;
+      std::ifstream in(value, std::ios::binary);
+      if (!in) {
+        std::cerr << "dvdispatch: cannot read trace file '" << value << "'\n";
+        return false;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      cli.fault_model.kind = FaultModelKind::kTrace;
+      cli.fault_model.trace_json = buf.str();
     } else {
       std::cerr << "dvdispatch: unknown option '" << arg << "'\n";
       return false;
@@ -189,6 +227,9 @@ SweepSpec build_spec(const Cli& cli) {
                           RunMode::kCascading, runs, seed, cli.processes);
     spec.cases.insert(spec.cases.end(), grid.begin(), grid.end());
   }
+  // The grid builder knows nothing about fault models; stamping the params
+  // afterwards keeps geometric sweeps byte-identical to pre-model builds.
+  for (SweepCase& c : spec.cases) c.spec.fault_model = cli.fault_model;
   return spec;
 }
 
