@@ -388,7 +388,9 @@ void Mr1p::load(Decoder& dec) {
   num_ = dec.get_varint();
   status_ = decode_saved_status(dec);
   const std::uint64_t formed = dec.get_varint();
-  if (formed > 1'000'000) throw DecodeError("implausible formedViews length");
+  if (formed > 1'000'000 || formed > dec.remaining()) {
+    throw DecodeError("implausible formedViews length");
+  }
   formed_views_.clear();
   formed_views_.reserve(formed);
   for (std::uint64_t i = 0; i < formed; ++i) {
@@ -406,7 +408,9 @@ void Mr1p::load(Decoder& dec) {
     outbox_.push_back(decode_payload(bytes));
   }
   const std::uint64_t queries = dec.get_varint();
-  if (queries > 1'000'000) throw DecodeError("implausible query count");
+  if (queries > 1'000'000 || queries > dec.remaining()) {
+    throw DecodeError("implausible query count");
+  }
   unanswered_queries_.clear();
   unanswered_queries_.reserve(queries);
   for (std::uint64_t i = 0; i < queries; ++i) {

@@ -101,7 +101,9 @@ void Mr1pReplyPayload::encode_body(Encoder& enc) const {
 std::shared_ptr<Mr1pReplyPayload> Mr1pReplyPayload::decode_body(Decoder& dec) {
   auto p = std::make_shared<Mr1pReplyPayload>();
   const std::uint64_t n = dec.get_varint();
-  if (n > 100'000) throw DecodeError("implausible reply count");
+  if (n > 100'000 || n > dec.remaining()) {
+    throw DecodeError("implausible reply count");
+  }
   p->replies.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) {
     Mr1pReplyItem r;

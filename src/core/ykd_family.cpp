@@ -258,7 +258,9 @@ void encode_sessions(Encoder& enc, const std::vector<Session>& sessions) {
 
 std::vector<Session> decode_sessions(Decoder& dec) {
   const std::uint64_t n = dec.get_varint();
-  if (n > 1'000'000) throw DecodeError("implausible session vector length");
+  if (n > 1'000'000 || n > dec.remaining()) {
+    throw DecodeError("implausible session vector length");
+  }
   std::vector<Session> out;
   out.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) out.push_back(Session::decode(dec));

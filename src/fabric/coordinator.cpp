@@ -95,14 +95,14 @@ struct Connection {
   std::mutex send_mutex;
 
   // Everything below is guarded by the coordinator's scheduler mutex.
-  std::string peer = "worker";
-  std::uint64_t slots = 1;
-  std::uint64_t credit = 0;
-  std::uint64_t units_done = 0;
-  double busy_results = 0.0;
-  double busy_reported = 0.0;
-  bool registered = false;
-  bool dead = false;
+  std::string peer = "worker";      // dvlint: guarded_by(mutex)
+  std::uint64_t slots = 1;          // dvlint: guarded_by(mutex)
+  std::uint64_t credit = 0;         // dvlint: guarded_by(mutex)
+  std::uint64_t units_done = 0;     // dvlint: guarded_by(mutex)
+  double busy_results = 0.0;        // dvlint: guarded_by(mutex)
+  double busy_reported = 0.0;       // dvlint: guarded_by(mutex)
+  bool registered = false;          // dvlint: guarded_by(mutex)
+  bool dead = false;                // dvlint: guarded_by(mutex)
 };
 
 }  // namespace
@@ -122,21 +122,24 @@ struct Coordinator::Impl {
   std::mutex mutex;
   std::condition_variable local_work;
   std::condition_variable drained;
-  std::deque<Unit> units;
-  std::deque<std::size_t> pending;      // remote-eligible unit ids
-  std::deque<std::size_t> scout_queue;  // local-only unit ids
+  std::deque<Unit> units;               // dvlint: guarded_by(mutex)
+  std::deque<std::size_t> pending;      // dvlint: guarded_by(mutex)
+  std::deque<std::size_t> scout_queue;  // dvlint: guarded_by(mutex)
+  // `case_progress` is deliberately unannotated: a case's slot is touched
+  // unlocked by its exclusive holder (scout/finalize) -- the exclusivity
+  // argument lives at those sites, not in a lock.
   std::vector<CaseProgress> case_progress;
-  std::size_t cases_done = 0;
-  bool all_done = false;
-  bool aborting = false;
-  std::exception_ptr failure;
-  FabricTelemetry telemetry;
-  std::uint64_t local_units_done = 0;
-  double local_busy_seconds = 0.0;
-  std::vector<std::unique_ptr<Connection>> connections;
+  std::size_t cases_done = 0;           // dvlint: guarded_by(mutex)
+  bool all_done = false;                // dvlint: guarded_by(mutex)
+  bool aborting = false;                // dvlint: guarded_by(mutex)
+  std::exception_ptr failure;           // dvlint: guarded_by(mutex)
+  FabricTelemetry telemetry;            // dvlint: guarded_by(mutex)
+  std::uint64_t local_units_done = 0;   // dvlint: guarded_by(mutex)
+  double local_busy_seconds = 0.0;      // dvlint: guarded_by(mutex)
+  std::vector<std::unique_ptr<Connection>> connections;  // dvlint: guarded_by(mutex)
 
   std::mutex progress_mutex;
-  std::size_t cases_reported = 0;
+  std::size_t cases_reported = 0;       // dvlint: guarded_by(progress_mutex)
   SweepResult result;
 
   Impl(SweepSpec sweep_spec, const CoordinatorOptions& options)
@@ -173,6 +176,7 @@ struct Coordinator::Impl {
   /// Split every case into units up front.  The split is a pure
   /// scheduling choice: merged results are identical for any split, which
   /// is what makes the distributed fingerprint match the serial one.
+  // dvlint: requires_lock(mutex) -- only the constructor calls it pre-thread
   void build_units() {
     const std::size_t case_count = spec.cases.size();
     case_progress.resize(case_count);
@@ -213,7 +217,7 @@ struct Coordinator::Impl {
     }
   }
 
-  void push_unit(Unit unit) {
+  void push_unit(Unit unit) {  // dvlint: requires_lock(mutex)
     units.push_back(std::move(unit));
     pending.push_back(units.size() - 1);
   }
@@ -223,6 +227,7 @@ struct Coordinator::Impl {
                                     : default_progress_sink();
   }
 
+  // dvlint: requires_lock(mutex)
   void note_claim_locked(std::size_t case_index, std::size_t holder) {
     CaseProgress& cp = case_progress[case_index];
     if (cp.last_holder != kNoHolder && cp.last_holder != holder) {
@@ -322,7 +327,7 @@ struct Coordinator::Impl {
 
   /// Build the lease frame for `unit_id` (scheduler lock held).  Cascade
   /// shards carry a copy of their checkpoint snapshot.
-  LeaseFrame lease_for_locked(std::size_t unit_id) {
+  LeaseFrame lease_for_locked(std::size_t unit_id) {  // dvlint: requires_lock(mutex)
     const Unit& unit = units[unit_id];
     LeaseFrame lease;
     lease.unit_id = unit_id;
@@ -576,6 +581,7 @@ struct Coordinator::Impl {
 
   /// Claim the next unit for a local executor.  Scouts first (they gate
   /// cascade shards and only locals can run them), then the shared queue.
+  // dvlint: requires_lock(mutex)
   bool claim_local(std::unique_lock<std::mutex>& lock, std::size_t holder,
                    std::size_t& out_unit) {
     for (;;) {
@@ -713,24 +719,30 @@ struct Coordinator::Impl {
     }
     // The acceptor is joined, so `connections` no longer grows; join the
     // readers without the scheduler lock (their exit path takes it).
+    // dvlint: ignore(guarded-by)
     for (const auto& conn : connections) {
       if (conn->reader.joinable()) conn->reader.join();
     }
     for (std::thread& t : executors) t.join();
 
-    if (failure) std::rethrow_exception(failure);
+    {
+      // Every thread is joined: the lock is uncontended and taken only so
+      // the guarded-by discipline stays checkable end to end.
+      std::lock_guard<std::mutex> lock(mutex);
+      if (failure) std::rethrow_exception(failure);
 
-    result.wall_seconds = seconds_since(sweep_start);
-    telemetry.used = true;
-    if (local_jobs > 0) {
-      FabricWorkerTelemetry local;
-      local.peer = "local";
-      local.slots = local_jobs;
-      local.units_done = local_units_done;
-      local.busy_seconds = local_busy_seconds;
-      telemetry.workers.insert(telemetry.workers.begin(), std::move(local));
+      result.wall_seconds = seconds_since(sweep_start);
+      telemetry.used = true;
+      if (local_jobs > 0) {
+        FabricWorkerTelemetry local;
+        local.peer = "local";
+        local.slots = local_jobs;
+        local.units_done = local_units_done;
+        local.busy_seconds = local_busy_seconds;
+        telemetry.workers.insert(telemetry.workers.begin(), std::move(local));
+      }
+      result.fabric = telemetry;
     }
-    result.fabric = telemetry;
 
     progress_sink().sweep_done(
         spec.name.empty() ? "(unnamed sweep)" : spec.name,

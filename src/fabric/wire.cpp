@@ -125,7 +125,7 @@ void HelloFrame::decode_body(Decoder& dec, std::uint64_t version) {
   const std::uint64_t count = dec.get_varint();
   // One descriptor is a handful of bytes; a count beyond this is a corrupt
   // frame, not a sweep (the standard grids are a few hundred cases).
-  if (count > 1'000'000) {
+  if (count > 1'000'000 || count > dec.remaining()) {
     throw DecodeError("implausible case-table size " + std::to_string(count));
   }
   cases.clear();

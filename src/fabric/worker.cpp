@@ -39,16 +39,16 @@ struct WorkerSession {
 
   std::mutex mutex;
   std::condition_variable work;
-  std::deque<LeaseFrame> leases;
-  std::vector<CaseDescriptor> cases;
-  std::size_t executing = 0;
-  std::uint64_t results_sent = 0;
-  double busy_seconds = 0.0;
-  bool ending = false;      // any reason; executors and heartbeat exit
-  bool dying = false;       // die_after_units fired: fall silent
-  bool lost = false;        // transport failure somewhere
+  std::deque<LeaseFrame> leases;         // dvlint: guarded_by(mutex)
+  std::vector<CaseDescriptor> cases;     // dvlint: guarded_by(mutex)
+  std::size_t executing = 0;             // dvlint: guarded_by(mutex)
+  std::uint64_t results_sent = 0;        // dvlint: guarded_by(mutex)
+  double busy_seconds = 0.0;             // dvlint: guarded_by(mutex)
+  bool ending = false;      // dvlint: guarded_by(mutex) -- exit flag
+  bool dying = false;       // dvlint: guarded_by(mutex) -- die_after_units
+  bool lost = false;        // dvlint: guarded_by(mutex) -- transport failed
 
-  std::uint64_t inflight_locked() const {
+  std::uint64_t inflight_locked() const {  // dvlint: requires_lock(mutex)
     return leases.size() + executing;
   }
 };
@@ -154,7 +154,11 @@ SessionEnd run_session(Socket socket, const WorkerOptions& options,
       return SessionEnd::kRejected;
     }
     handshake_done = true;
-    session.cases = std::move(coord->cases);
+    {
+      // No executor thread exists yet; locked so guarded-by stays honest.
+      std::lock_guard<std::mutex> lock(session.mutex);
+      session.cases = std::move(coord->cases);
+    }
     const std::uint64_t heartbeat_ms =
         coord->heartbeat_ms != 0 ? coord->heartbeat_ms : 1000;
 

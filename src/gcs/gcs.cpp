@@ -31,6 +31,7 @@ Gcs::Gcs(AlgorithmKind kind, std::size_t processes, GcsOptions options)
 Gcs::Gcs(const AlgorithmFactory& factory, std::size_t processes,
          GcsOptions options)
     : options_(options), topology_(processes),
+      // dvlint: raw-seed(driver already derives it with kDeliveryStreamTag)
       delivery_rng_(options.delivery_seed), crashed_(processes) {
   DV_REQUIRE(processes >= 1, "need at least one process");
   const View initial{1, ProcessSet::full(processes)};

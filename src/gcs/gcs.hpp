@@ -186,6 +186,7 @@ class Gcs {
   GcsOptions options_;  // dvlint: transient(constructor configuration)
   Topology topology_;
   Network network_;
+  // dvlint: raw-seed(dead default; the constructor always reseeds it)
   Rng delivery_rng_{0xDE11u};
   std::vector<std::unique_ptr<PrimaryComponentAlgorithm>> algorithms_;
   std::vector<View> installed_views_;

@@ -67,7 +67,9 @@ void Network::encode(Encoder& enc) const {
 
 Network Network::decode(Decoder& dec) {
   const std::uint64_t count = dec.get_varint();
-  if (count > 1'000'000) throw DecodeError("implausible in-flight count");
+  if (count > 1'000'000 || count > dec.remaining()) {
+    throw DecodeError("implausible in-flight count");
+  }
   Network net;
   net.in_flight_.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cctype>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -12,6 +13,7 @@
 #include <stdexcept>
 
 #include "lint/parse.hpp"
+#include "lint/scope.hpp"
 #include "lint/source.hpp"
 #include "util/json.hpp"
 
@@ -19,22 +21,58 @@ namespace dynvote::lint {
 
 namespace fs = std::filesystem;
 
+namespace {
+
+constexpr CheckInfo kChecks[] = {
+    {CheckId::kSnapshotCompleteness, "snapshot-completeness",
+     "every mutable field of a save/load class must round-trip through the "
+     "snapshot (opt-out: // dvlint: transient(why))"},
+    {CheckId::kDeterminism, "determinism",
+     "no unseeded randomness, wall-clock reads, pointer-keyed ordering or "
+     "hash-order iteration in result-affecting paths"},
+    {CheckId::kLayering, "layering",
+     "includes must respect the layer DAG: util < core < gcs < sim < "
+     "runner < fabric < lint"},
+    {CheckId::kDecodeThrow, "decode-throw",
+     "decode paths throw DecodeError on malformed input instead of "
+     "asserting"},
+    {CheckId::kAtomicFold, "atomic-fold",
+     "stats folds run after the merge barrier and must not read live "
+     "std::atomic fields"},
+    {CheckId::kFormatMigration, "format-migration",
+     "fields written under an envelope-version gate must be read under one "
+     "too"},
+    {CheckId::kGuardedBy, "guarded-by",
+     "fields annotated guarded_by(<mutex>) may only be touched while a "
+     "scope holds that mutex"},
+    {CheckId::kProtocolExhaustiveness, "protocol-exhaustiveness",
+     "switches over wire_enum-annotated enums handle every enumerator; no "
+     "non-throwing default may swallow new frames"},
+    {CheckId::kRngStream, "rng-stream-discipline",
+     "child_seed() tags come from the k*StreamTag registry, tags are "
+     "registry-unique, and raw Rng seeds carry a raw-seed(why) whitelist "
+     "annotation"},
+    {CheckId::kBoundedDecode, "bounded-decode",
+     "decode-side reserve()/resize() from a decoded count is bounded by "
+     "the decoder's remaining bytes first"},
+};
+
+}  // namespace
+
+std::span<const CheckInfo> all_checks() { return kChecks; }
+
 std::string_view to_string(CheckId check) {
-  switch (check) {
-    case CheckId::kSnapshotCompleteness:
-      return "snapshot-completeness";
-    case CheckId::kDeterminism:
-      return "determinism";
-    case CheckId::kLayering:
-      return "layering";
-    case CheckId::kDecodeThrow:
-      return "decode-throw";
-    case CheckId::kAtomicFold:
-      return "atomic-fold";
-    case CheckId::kFormatMigration:
-      return "format-migration";
+  for (const CheckInfo& info : kChecks) {
+    if (info.id == check) return info.name;
   }
   return "unknown";
+}
+
+std::optional<CheckId> check_from_string(std::string_view name) {
+  for (const CheckInfo& info : kChecks) {
+    if (info.name == name) return info.id;
+  }
+  return std::nullopt;
 }
 
 namespace {
@@ -562,6 +600,500 @@ void check_layering(const std::vector<ParsedFile>& files,
 }
 
 // ---------------------------------------------------------------------------
+// Check 7: guarded-by lock discipline
+//
+// Fields annotated `// dvlint: guarded_by(<mutex>)` (collected repo-wide,
+// so a header's annotation protects accesses in every .cpp) may only be
+// touched inside a scope holding that mutex.  The heavy lifting -- brace
+// scopes, RAII holds, .unlock()/.lock() flow, requires_lock contracts,
+// guarded locals -- lives in lint/scope.cpp.
+
+void check_guarded_by(const std::vector<ParsedFile>& files,
+                      std::vector<Finding>& findings) {
+  // The walker identifies a held mutex by the last identifier of the locked
+  // expression (`impl->mutex` -> `mutex`); normalize annotation arguments
+  // the same way so `guarded_by(impl->mutex)` matches.
+  const auto last_ident = [](std::string_view expr) {
+    std::size_t end = expr.size();
+    while (end > 0 && !(std::isalnum(static_cast<unsigned char>(
+                            expr[end - 1])) ||
+                        expr[end - 1] == '_')) {
+      --end;
+    }
+    std::size_t begin = end;
+    while (begin > 0 && (std::isalnum(static_cast<unsigned char>(
+                             expr[begin - 1])) ||
+                         expr[begin - 1] == '_')) {
+      --begin;
+    }
+    return std::string(expr.substr(begin, end - begin));
+  };
+
+  std::vector<GuardedField> guarded;
+  for (const ParsedFile& pf : files) {
+    for (const ClassDecl& cls : pf.classes) {
+      for (const FieldDecl& field : cls.fields) {
+        const auto arg =
+            pf.source->annotation_arg(field.line, "guarded_by");
+        if (arg && !arg->empty()) {
+          guarded.push_back(
+              GuardedField{cls.name, field.name, last_ident(*arg)});
+        }
+      }
+    }
+  }
+  for (const ParsedFile& pf : files) {
+    const SourceFile& src = *pf.source;
+    for (const GuardViolation& v : guarded_by_violations(pf, guarded)) {
+      const std::size_t line = src.line_of(v.offset);
+      if (ignored(src, line, CheckId::kGuardedBy)) continue;
+      Finding f;
+      f.check = CheckId::kGuardedBy;
+      f.file = src.rel_path;
+      f.line = line;
+      f.detail = v.name;
+      f.message =
+          "'" + v.name + "' is guarded by '" + v.mutex +
+          "' but touched without holding it; take the lock, annotate the "
+          "helper '// dvlint: requires_lock(" + v.mutex +
+          ")' if the caller holds it, or '// dvlint: ignore(guarded-by)' "
+          "where exclusivity is established another way (post-join, "
+          "pre-thread)";
+      findings.push_back(std::move(f));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Check 8: protocol exhaustiveness
+//
+// Enums annotated `// dvlint: wire_enum` cross a serialization boundary:
+// every switch over one must name every enumerator, so adding a frame type
+// fails lint until each handler learns about it.  A `default:` is allowed
+// only when it throws -- the decoder's unknown-byte rejection -- because a
+// swallowing default is exactly how a new frame type gets silently dropped.
+
+void check_protocol_exhaustiveness(const std::vector<ParsedFile>& files,
+                                   std::vector<Finding>& findings) {
+  std::map<std::string, const EnumDecl*> wire;
+  for (const ParsedFile& pf : files) {
+    for (const EnumDecl& e : pf.enums) {
+      if (pf.source->has_annotation(e.line, "wire_enum")) {
+        wire.emplace(e.name, &e);
+      }
+    }
+  }
+  if (wire.empty()) return;
+
+  for (const ParsedFile& pf : files) {
+    const SourceFile& src = *pf.source;
+    const std::vector<Token> tokens = tokenize(src.code);
+    for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+      if (tokens[i].text != "switch" || tokens[i + 1].text != "(") continue;
+      int parens = 0;
+      std::size_t j = i + 1;
+      for (; j < tokens.size(); ++j) {
+        if (tokens[j].text == "(") ++parens;
+        if (tokens[j].text == ")" && --parens == 0) break;
+      }
+      if (j + 1 >= tokens.size() || tokens[j + 1].text != "{") continue;
+      const std::size_t close = match_brace(src.code, tokens[j + 1].offset);
+      if (close == std::string_view::npos) continue;
+
+      const EnumDecl* target = nullptr;
+      std::set<std::string_view> covered;
+      bool has_default = false;
+      bool default_throws = false;
+      bool in_default = false;
+      int depth = 0;
+      for (std::size_t k = j + 1;
+           k < tokens.size() && tokens[k].offset <= close; ++k) {
+        const std::string_view t = tokens[k].text;
+        if (t == "{") ++depth;
+        if (t == "}") --depth;
+        if (in_default && (t == "throw" || t == "DV_RAISE")) {
+          default_throws = true;
+        }
+        if (depth != 1) continue;
+        if (t == "default") {
+          has_default = true;
+          in_default = true;
+          continue;
+        }
+        if (t != "case") continue;
+        in_default = false;
+        // Label: idents up to the terminating `:` (`::` is one token, so
+        // the label's end is unambiguous).
+        std::string_view enumr;
+        std::string_view scope_name;
+        for (std::size_t m = k + 1; m < tokens.size(); ++m) {
+          if (tokens[m].text == ":") break;
+          if (tokens[m].text == "::" && !enumr.empty()) scope_name = enumr;
+          if (tokens[m].is_ident()) enumr = tokens[m].text;
+        }
+        if (enumr.empty()) continue;
+        covered.insert(enumr);
+        if (const auto it = wire.find(std::string(scope_name));
+            !scope_name.empty() && it != wire.end()) {
+          target = it->second;
+        } else if (scope_name.empty()) {
+          // Unscoped label: attribute by enumerator membership.
+          for (const auto& [name, e] : wire) {
+            if (std::find(e->enumerators.begin(), e->enumerators.end(),
+                          enumr) != e->enumerators.end()) {
+              target = e;
+              break;
+            }
+          }
+        }
+      }
+      if (target == nullptr) continue;
+
+      const std::size_t sw_line = src.line_of(tokens[i].offset);
+      if (ignored(src, sw_line, CheckId::kProtocolExhaustiveness)) continue;
+      for (const std::string& e : target->enumerators) {
+        if (covered.count(e) > 0) continue;
+        Finding f;
+        f.check = CheckId::kProtocolExhaustiveness;
+        f.file = src.rel_path;
+        f.line = sw_line;
+        f.detail = e;
+        f.message = "switch over wire enum '" + target->name +
+                    "' does not handle '" + e +
+                    "'; every enumerator of a wire enum must be handled "
+                    "explicitly so new frame types fail lint until every "
+                    "peer understands them";
+        findings.push_back(std::move(f));
+      }
+      if (has_default && !default_throws) {
+        Finding f;
+        f.check = CheckId::kProtocolExhaustiveness;
+        f.file = src.rel_path;
+        f.line = sw_line;
+        f.detail = "default";
+        f.message = "switch over wire enum '" + target->name +
+                    "' has a non-throwing default that would silently "
+                    "swallow new enumerators; handle each case explicitly "
+                    "(a default that throws on unknown input stays legal)";
+        findings.push_back(std::move(f));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Check 9: RNG stream discipline
+//
+// Replayable, uncorrelated randomness rests on the child_seed registry in
+// util/rng.hpp: every derived stream takes a named k*StreamTag constant,
+// tags never collide, and nothing seeds an Rng from a raw expression --
+// except the pinned geometric schedule, which is whitelisted in place with
+// `// dvlint: raw-seed(why)` because its baselines froze before the
+// registry existed.
+
+bool is_stream_tag_name(std::string_view t) {
+  constexpr std::string_view kSuffix = "StreamTag";
+  return t.size() > kSuffix.size() + 1 && t.front() == 'k' &&
+         t.substr(t.size() - kSuffix.size()) == kSuffix;
+}
+
+/// Top-level comma-separated argument slices of the token group opening at
+/// `open` (which must index a `(` or `{`).  Each slice is a [begin, end)
+/// token index range.
+std::vector<std::pair<std::size_t, std::size_t>> argument_ranges(
+    const std::vector<Token>& tokens, std::size_t open) {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  int depth = 0;
+  std::size_t begin = open + 1;
+  for (std::size_t k = open; k < tokens.size(); ++k) {
+    const std::string_view t = tokens[k].text;
+    if (t == "(" || t == "{" || t == "[") ++depth;
+    if (t == ")" || t == "}" || t == "]") {
+      if (--depth == 0) {
+        if (k > begin) out.emplace_back(begin, k);
+        return out;
+      }
+    }
+    if (t == "," && depth == 1) {
+      if (k > begin) out.emplace_back(begin, k);
+      begin = k + 1;
+    }
+  }
+  return out;
+}
+
+void check_rng_stream(const std::vector<ParsedFile>& files,
+                      std::vector<Finding>& findings) {
+  struct TagDef {
+    std::string name;
+    const SourceFile* src = nullptr;
+    std::size_t line = 0;
+    std::string value;
+  };
+
+  // Registry: every `k*StreamTag = <value>` declaration, in scan order
+  // (files are sorted, so duplicates report at the later declaration).
+  std::vector<TagDef> defs;
+  for (const ParsedFile& pf : files) {
+    const std::vector<Token> tokens = tokenize(pf.source->code);
+    for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+      if (!tokens[i].is_ident() || !is_stream_tag_name(tokens[i].text) ||
+          tokens[i + 1].text != "=") {
+        continue;
+      }
+      TagDef def;
+      def.name = std::string(tokens[i].text);
+      def.src = pf.source;
+      def.line = pf.source->line_of(tokens[i].offset);
+      for (std::size_t k = i + 2;
+           k < tokens.size() && tokens[k].text != ";"; ++k) {
+        def.value += tokens[k].text;
+      }
+      defs.push_back(std::move(def));
+    }
+  }
+
+  auto normalized = [](std::string v) -> std::string {
+    while (!v.empty() && (v.back() == 'u' || v.back() == 'U' ||
+                          v.back() == 'l' || v.back() == 'L')) {
+      v.pop_back();
+    }
+    try {
+      std::size_t used = 0;
+      const unsigned long long n = std::stoull(v, &used, 0);
+      if (used == v.size()) return std::to_string(n);
+    } catch (const std::exception&) {
+    }
+    return v;
+  };
+
+  std::set<std::string> tag_names;
+  std::map<std::string, std::string> by_value;
+  for (const TagDef& def : defs) {
+    tag_names.insert(def.name);
+    const auto [it, fresh] = by_value.emplace(normalized(def.value), def.name);
+    if (fresh) continue;
+    if (ignored(*def.src, def.line, CheckId::kRngStream)) continue;
+    Finding f;
+    f.check = CheckId::kRngStream;
+    f.file = def.src->rel_path;
+    f.line = def.line;
+    f.detail = def.name;
+    f.message = "stream tag '" + def.name + "' has the same value as '" +
+                it->second +
+                "'; colliding tags make two child streams identical -- "
+                "pick a fresh value";
+    findings.push_back(std::move(f));
+  }
+
+  for (const ParsedFile& pf : files) {
+    const SourceFile& src = *pf.source;
+    const std::vector<Token> tokens = tokenize(src.code);
+    const bool affecting = result_affecting(top_dir(src.rel_path));
+
+    for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+      const std::string_view t = tokens[i].text;
+
+      // --- child_seed call sites ---
+      if (t == "child_seed" && tokens[i + 1].text == "(") {
+        // Skip the declaration itself (parameter list starts with a type).
+        if (i + 2 < tokens.size() && (tokens[i + 2].text == "std" ||
+                                      tokens[i + 2].text == ")")) {
+          continue;
+        }
+        const std::size_t line = src.line_of(tokens[i].offset);
+        if (ignored(src, line, CheckId::kRngStream)) continue;
+        const auto args = argument_ranges(tokens, i + 1);
+        std::string problem;
+        if (args.size() != 2) {
+          problem = "call must be child_seed(<base>, <k*StreamTag>)";
+        } else {
+          const auto [begin, end] = args[1];
+          if (end - begin != 1 || !tokens[begin].is_ident()) {
+            problem =
+                "the stream tag must be a single named k*StreamTag "
+                "constant, not an expression or literal";
+          } else if (tag_names.count(std::string(tokens[begin].text)) == 0) {
+            problem = "'" + std::string(tokens[begin].text) +
+                      "' is not in the k*StreamTag registry; declare it "
+                      "there so tag uniqueness is checkable";
+          }
+        }
+        if (problem.empty()) continue;
+        Finding f;
+        f.check = CheckId::kRngStream;
+        f.file = src.rel_path;
+        f.line = line;
+        f.detail = "child_seed";
+        f.message = "child_seed stream discipline: " + problem;
+        findings.push_back(std::move(f));
+        continue;
+      }
+
+      if (!affecting) continue;
+
+      // --- raw Rng seeding ---
+      std::size_t open = std::string_view::npos;
+      std::string detail;
+      if (t == "Rng") {
+        if (tokens[i + 1].is_ident() && i + 2 < tokens.size() &&
+            (tokens[i + 2].text == "(" || tokens[i + 2].text == "{")) {
+          open = i + 2;  // `Rng name(seed)` / `Rng name{seed}`
+          detail = std::string(tokens[i + 1].text);
+        } else if (tokens[i + 1].text == "(" || tokens[i + 1].text == "{") {
+          open = i + 1;  // `Rng(seed)` temporary
+          detail = "Rng";
+        }
+      } else if (tokens[i].is_ident() && tokens[i + 1].text == "(" &&
+                 t != "child_seed") {
+        // Constructor-initializer style: `rng_(seed)` / `delivery_rng_(x)`.
+        std::string lower(t);
+        std::transform(lower.begin(), lower.end(), lower.begin(),
+                       [](unsigned char c) { return std::tolower(c); });
+        const bool member_access =
+            i > 0 && (tokens[i - 1].text == "." || tokens[i - 1].text == "::" ||
+                      (tokens[i - 1].text == ">" && i > 1 &&
+                       tokens[i - 2].text == "-"));
+        if (lower.find("rng") != std::string::npos && !member_access) {
+          open = i + 1;
+          detail = std::string(t);
+        }
+      }
+      if (open == std::string_view::npos) continue;
+      const auto args = argument_ranges(tokens, open);
+      if (args.empty()) continue;
+      bool derived = false;
+      bool param_list = false;
+      for (const auto& [begin, end] : args) {
+        for (std::size_t k = begin; k < end; ++k) {
+          if (tokens[k].text == "child_seed" || tokens[k].text == "fork" ||
+              tokens[k].text == "set_state" || tokens[k].text == "state") {
+            derived = true;
+          }
+          // Two adjacent identifiers (`uint64_t seed`) only occur in a
+          // parameter list: this is a constructor or function declaration,
+          // not a seeding expression.
+          if (k + 1 < end && tokens[k].is_ident() &&
+              tokens[k + 1].is_ident()) {
+            param_list = true;
+          }
+        }
+      }
+      if (derived || param_list) continue;
+      const std::size_t line = src.line_of(tokens[i].offset);
+      if (src.has_annotation(line, "raw-seed")) continue;
+      if (ignored(src, line, CheckId::kRngStream)) continue;
+      Finding f;
+      f.check = CheckId::kRngStream;
+      f.file = src.rel_path;
+      f.line = line;
+      f.detail = detail;
+      f.message =
+          "Rng '" + detail +
+          "' is seeded from a raw expression; derive the seed with "
+          "child_seed(<base>, <k*StreamTag>) so streams stay uncorrelated "
+          "and replayable, or whitelist a pinned stream with '// dvlint: "
+          "raw-seed(why)'";
+      findings.push_back(std::move(f));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Check 10: bounded decode
+//
+// Generalizes the CaseResult::decode_body hardening: a decode path that
+// reserve()s or resize()s from a decoded count must first bound the count
+// by the decoder's remaining bytes.  A hostile length prefix then fails
+// fast in the decoder instead of reaching the allocator.
+
+constexpr std::array<std::string_view, 8> kDecodeGetters = {
+    "get_varint", "get_u8",        "get_u16",       "get_u32",
+    "get_u64",    "get_u32_fixed", "get_u64_fixed", "get_f64"};
+
+void check_bounded_decode(const std::vector<ParsedFile>& files,
+                          std::vector<Finding>& findings) {
+  for (const ParsedFile& pf : files) {
+    if (!result_affecting(top_dir(pf.source->rel_path))) continue;
+    const SourceFile& src = *pf.source;
+    const std::vector<Token> tokens = tokenize(src.code);
+
+    // Pass 1: decoded-count assignments (`n = dec.get_varint()`) and the
+    // offsets where `remaining` is consulted.
+    std::map<std::string_view, std::size_t> counts;  // name -> assign offset
+    std::vector<std::size_t> remaining_at;
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      const std::string_view t = tokens[i].text;
+      if (t == "remaining") remaining_at.push_back(tokens[i].offset);
+      if (std::find(kDecodeGetters.begin(), kDecodeGetters.end(), t) ==
+              kDecodeGetters.end() ||
+          i + 1 >= tokens.size() || tokens[i + 1].text != "(") {
+        continue;
+      }
+      for (std::size_t k = i; k-- > 0;) {
+        const std::string_view u = tokens[k].text;
+        if (u == ";" || u == "{" || u == "}") break;
+        if (u == "=" && k > 0 && tokens[k - 1].is_ident()) {
+          counts[tokens[k - 1].text] = tokens[i].offset;
+          break;
+        }
+      }
+    }
+
+    // Pass 2: reserve()/resize() calls fed by a decoded count.
+    for (std::size_t i = 1; i + 1 < tokens.size(); ++i) {
+      const std::string_view t = tokens[i].text;
+      if (t != "reserve" && t != "resize") continue;
+      const bool member_call =
+          tokens[i - 1].text == "." ||
+          (tokens[i - 1].text == ">" && i > 1 && tokens[i - 2].text == "-");
+      if (!member_call || tokens[i + 1].text != "(") continue;
+      const std::size_t call_offset = tokens[i].offset;
+
+      std::string culprit;
+      int depth = 0;
+      for (std::size_t k = i + 1; k < tokens.size(); ++k) {
+        const std::string_view u = tokens[k].text;
+        if (u == "(") ++depth;
+        if (u == ")" && --depth == 0) break;
+        if (std::find(kDecodeGetters.begin(), kDecodeGetters.end(), u) !=
+            kDecodeGetters.end()) {
+          culprit = std::string(u);  // reserve(dec.get_varint()): never ok
+          break;
+        }
+        if (!tokens[k].is_ident()) continue;
+        const auto it = counts.find(u);
+        if (it == counts.end() || it->second >= call_offset) continue;
+        const bool bounded =
+            std::any_of(remaining_at.begin(), remaining_at.end(),
+                        [&](std::size_t at) {
+                          return at > it->second && at < call_offset;
+                        });
+        if (!bounded) {
+          culprit = std::string(u);
+          break;
+        }
+      }
+      if (culprit.empty()) continue;
+      const std::size_t line = src.line_of(call_offset);
+      if (ignored(src, line, CheckId::kBoundedDecode)) continue;
+      Finding f;
+      f.check = CheckId::kBoundedDecode;
+      f.file = src.rel_path;
+      f.line = line;
+      f.detail = culprit;
+      f.message =
+          "decode-side " + std::string(t) + " sized by decoded count '" +
+          culprit +
+          "' without bounding it against the decoder's remaining bytes; "
+          "check `<count> > dec.remaining()` (or an item-size multiple of "
+          "it) and throw DecodeError before allocating";
+      findings.push_back(std::move(f));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 
 bool suppressed_by(const Finding& f, const Suppression& s) {
   if (s.check != "*" && s.check != to_string(f.check)) return false;
@@ -586,16 +1118,33 @@ std::vector<Suppression> load_suppressions(const std::string& path) {
     std::istringstream fields(line);
     Suppression s;
     std::string target;
+    std::string extra;
+    const auto malformed = [&](const std::string& why) {
+      return std::runtime_error("dvlint: malformed suppression at " + path +
+                               ":" + std::to_string(lineno) + " (" + why +
+                               ")");
+    };
     if (!(fields >> s.check >> target)) {
-      throw std::runtime_error("dvlint: malformed suppression at " + path +
-                               ":" + std::to_string(lineno));
+      throw malformed("expected '<check-id> <path-suffix>[:line]'");
+    }
+    if (fields >> extra) {
+      throw malformed("trailing fields after '" + target + "'");
+    }
+    if (s.check != "*" && !check_from_string(s.check)) {
+      throw malformed("unknown check id '" + s.check + "'");
     }
     if (const std::size_t colon = target.rfind(':');
         colon != std::string::npos &&
-        target.find_first_not_of("0123456789", colon + 1) == std::string::npos &&
-        colon + 1 < target.size()) {
+        target.find_first_not_of("0123456789", colon + 1) ==
+            std::string::npos) {
+      if (colon + 1 == target.size()) {
+        throw malformed("trailing ':' without a line number");
+      }
       s.line = static_cast<std::size_t>(
           std::stoull(target.substr(colon + 1)));
+      if (s.line == 0) {
+        throw malformed("line numbers are 1-based; ':0' matches nothing");
+      }
       target.resize(colon);
     }
     s.path_suffix = std::move(target);
@@ -640,9 +1189,38 @@ LintReport run_lint(const LintOptions& options) {
   check_decode_throw(parsed, findings);
   check_atomic_fold(parsed, findings);
   check_format_migration(parsed, findings);
+  check_guarded_by(parsed, findings);
+  check_protocol_exhaustiveness(parsed, findings);
+  check_rng_stream(parsed, findings);
+  check_bounded_decode(parsed, findings);
+
+  // Scope filters run before suppression accounting so `suppressed` counts
+  // only in-scope findings.
+  if (!options.checks.empty()) {
+    findings.erase(
+        std::remove_if(findings.begin(), findings.end(),
+                       [&](const Finding& f) {
+                         return std::find(options.checks.begin(),
+                                          options.checks.end(),
+                                          f.check) == options.checks.end();
+                       }),
+        findings.end());
+  }
 
   LintReport report;
   report.files_scanned = parsed.size();
+  if (options.only_files) {
+    const std::set<std::string> wanted(options.only_files->begin(),
+                                       options.only_files->end());
+    findings.erase(std::remove_if(findings.begin(), findings.end(),
+                                  [&](const Finding& f) {
+                                    return wanted.count(f.file) == 0;
+                                  }),
+                   findings.end());
+    report.files_scanned = static_cast<std::size_t>(std::count_if(
+        rel_paths.begin(), rel_paths.end(),
+        [&](const std::string& rel) { return wanted.count(rel) > 0; }));
+  }
   for (Finding& f : findings) {
     const bool drop = std::any_of(
         options.suppressions.begin(), options.suppressions.end(),
@@ -692,6 +1270,90 @@ std::string render_json(const LintReport& report, const std::string& root) {
     json.end_object();
   }
   json.end_array();
+  json.end_object();
+  return json.str() + "\n";
+}
+
+std::string render_sarif(const LintReport& report, const std::string& root) {
+  const auto rule_index = [](CheckId id) -> std::uint64_t {
+    const auto checks = all_checks();
+    for (std::size_t i = 0; i < checks.size(); ++i) {
+      if (checks[i].id == id) return static_cast<std::uint64_t>(i);
+    }
+    return 0;
+  };
+
+  JsonWriter json;
+  json.begin_object();
+  json.key("$schema").value("https://json.schemastore.org/sarif-2.1.0.json");
+  json.key("version").value("2.1.0");
+  json.key("runs").begin_array();
+  json.begin_object();
+
+  json.key("tool").begin_object();
+  json.key("driver").begin_object();
+  json.key("name").value("dvlint");
+  json.key("informationUri")
+      .value("https://github.com/dynvote/dynvote#static-analysis-dvlint");
+  json.key("rules").begin_array();
+  for (const CheckInfo& info : all_checks()) {
+    json.begin_object();
+    json.key("id").value(info.name);
+    json.key("shortDescription").begin_object();
+    json.key("text").value(info.summary);
+    json.end_object();
+    json.key("defaultConfiguration").begin_object();
+    json.key("level").value("error");
+    json.end_object();
+    json.end_object();
+  }
+  json.end_array();  // rules
+  json.end_object();  // driver
+  json.end_object();  // tool
+
+  json.key("columnKind").value("utf16CodeUnits");
+  json.key("originalUriBaseIds").begin_object();
+  json.key("SRCROOT").begin_object();
+  json.key("description").begin_object();
+  json.key("text").value("dvlint scan root: " + root);
+  json.end_object();
+  json.end_object();
+  json.end_object();
+
+  json.key("results").begin_array();
+  for (const Finding& f : report.findings) {
+    json.begin_object();
+    json.key("ruleId").value(to_string(f.check));
+    json.key("ruleIndex").value(rule_index(f.check));
+    json.key("level").value("error");
+    json.key("message").begin_object();
+    json.key("text").value(f.message);
+    json.end_object();
+    json.key("locations").begin_array();
+    json.begin_object();
+    json.key("physicalLocation").begin_object();
+    json.key("artifactLocation").begin_object();
+    json.key("uri").value(f.file);
+    json.key("uriBaseId").value("SRCROOT");
+    json.end_object();
+    json.key("region").begin_object();
+    json.key("startLine").value(
+        static_cast<std::uint64_t>(f.line == 0 ? 1 : f.line));
+    json.end_object();
+    json.end_object();
+    json.end_object();
+    json.end_array();  // locations
+    json.key("partialFingerprints").begin_object();
+    json.key("dvlintFinding/v1")
+        .value(f.file + ":" + std::to_string(f.line) + ":" +
+               std::string(to_string(f.check)) + ":" + f.detail);
+    json.end_object();
+    json.end_object();
+  }
+  json.end_array();  // results
+
+  json.end_object();  // run
+  json.end_array();   // runs
   json.end_object();
   return json.str() + "\n";
 }

@@ -48,6 +48,32 @@
 //                          after it.  The `else` branch of a gate counts as
 //                          gated (defaulting the field for old writers is
 //                          the correct migration shape).
+//   guarded-by             a field or local annotated `// dvlint:
+//                          guarded_by(<mutex>)` is touched outside a scope
+//                          holding a lock_guard/unique_lock/scoped_lock on
+//                          that mutex.  The walk is flow-aware (mid-scope
+//                          .unlock()/.lock(), std::defer_lock) and honors
+//                          `// dvlint: requires_lock(<mutex>)` contracts on
+//                          helpers whose caller holds the lock.  Opt-out:
+//                          `// dvlint: ignore(guarded-by)` on a line or a
+//                          scope header (e.g. post-join/post-barrier code).
+//   protocol-exhaustiveness  a switch over an enum annotated `// dvlint:
+//                          wire_enum` misses an enumerator, or hides new
+//                          ones behind a non-throwing `default:`.  Adding a
+//                          frame type must fail lint until every switch
+//                          handles it; a default that throws (the decoder's
+//                          unknown-byte rejection) stays legal.
+//   rng-stream-discipline  a `child_seed(seed, tag)` call whose tag is not
+//                          a named `k*StreamTag` registry constant, two
+//                          registry tags sharing a value, or an Rng seeded
+//                          from a raw expression in a result-affecting
+//                          path.  Opt-out for pinned raw seeds (the
+//                          geometric schedule baselines): `// dvlint:
+//                          raw-seed(why)`.
+//   bounded-decode         a decode path reserve()s/resize()s from a
+//                          decoded count without first bounding it by the
+//                          decoder's remaining bytes; a hostile length
+//                          prefix must fail fast, not allocate.
 //
 // Any finding can also be silenced with `// dvlint: ignore(<check-id>)` on
 // (or immediately above) the offending line, or via a suppression file of
@@ -55,6 +81,8 @@
 // findings sort by (file, line, check, detail) so CI diffs are stable.
 #pragma once
 
+#include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -67,10 +95,27 @@ enum class CheckId {
   kDecodeThrow,
   kAtomicFold,
   kFormatMigration,
+  kGuardedBy,
+  kProtocolExhaustiveness,
+  kRngStream,
+  kBoundedDecode,
 };
 
 /// Stable kebab-case name used in output, annotations and suppressions.
 std::string_view to_string(CheckId check);
+
+/// Catalogue entry for one check, for --list-checks and SARIF rules.
+struct CheckInfo {
+  CheckId id = CheckId::kSnapshotCompleteness;
+  std::string_view name;
+  std::string_view summary;
+};
+
+/// Every check, in CheckId order.
+std::span<const CheckInfo> all_checks();
+
+/// Resolve a kebab-case check name; nullopt for unknown names.
+std::optional<CheckId> check_from_string(std::string_view name);
 
 struct Finding {
   CheckId check = CheckId::kSnapshotCompleteness;
@@ -101,6 +146,14 @@ struct LintOptions {
   /// Directory scanned recursively for .hpp/.cpp files.
   std::string root;
   std::vector<Suppression> suppressions;
+  /// When engaged, findings are reported only for these root-relative
+  /// paths (forward slashes).  The whole tree is still parsed, so
+  /// cross-file context (guarded fields, tag registries, method bodies in
+  /// other files) is identical to a full run: a restricted report is
+  /// exactly the full report filtered to these files.
+  std::optional<std::vector<std::string>> only_files;
+  /// When non-empty, findings from checks outside this set are dropped.
+  std::vector<CheckId> checks;
 };
 
 struct LintReport {
@@ -122,5 +175,9 @@ std::string render_text(const LintReport& report);
 
 /// Machine-readable rendering (schema "dynvote.dvlint.v1").
 std::string render_json(const LintReport& report, const std::string& root);
+
+/// SARIF 2.1.0 rendering (one run, every check as a reporting rule), for
+/// code-scanning upload and editor integrations.
+std::string render_sarif(const LintReport& report, const std::string& root);
 
 }  // namespace dynvote::lint

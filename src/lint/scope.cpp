@@ -1,0 +1,551 @@
+#include "lint/scope.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <map>
+#include <optional>
+#include <span>
+
+namespace dynvote::lint {
+
+namespace {
+
+constexpr std::size_t kNpos = std::string_view::npos;
+
+bool is_reserved(std::string_view t) {
+  static constexpr std::array<std::string_view, 52> kReserved = {
+      "auto",      "bool",      "break",     "case",     "catch",
+      "char",      "class",     "const",     "constexpr", "continue",
+      "default",   "delete",    "do",        "double",   "else",
+      "enum",      "explicit",  "extern",    "false",    "final",
+      "float",     "for",       "friend",    "goto",     "if",
+      "inline",    "int",       "long",      "mutable",  "namespace",
+      "new",       "noexcept",  "nullptr",   "operator", "override",
+      "private",   "protected", "public",    "return",   "short",
+      "signed",    "sizeof",    "static",    "struct",   "switch",
+      "template",  "this",      "throw",     "true",     "try",
+      "typedef",   "typename",
+  };
+  static constexpr std::array<std::string_view, 7> kMore = {
+      "union", "unsigned", "using", "virtual", "void", "volatile", "while"};
+  return std::find(kReserved.begin(), kReserved.end(), t) != kReserved.end() ||
+         std::find(kMore.begin(), kMore.end(), t) != kMore.end();
+}
+
+/// Keywords that may open a type chain (`unsigned long n = ...`).
+bool is_builtin_type(std::string_view t) {
+  return t == "bool" || t == "char" || t == "double" || t == "float" ||
+         t == "int" || t == "long" || t == "short" || t == "signed" ||
+         t == "unsigned" || t == "void";
+}
+
+bool is_decl_qualifier(std::string_view t) {
+  return t == "const" || t == "constexpr" || t == "static" ||
+         t == "mutable" || t == "volatile" || t == "inline" ||
+         t == "typename" || t == "thread_local";
+}
+
+bool is_lock_type(std::string_view t) {
+  return t == "lock_guard" || t == "unique_lock" || t == "scoped_lock";
+}
+
+/// Last identifier of an annotation argument ("impl->mutex" -> "mutex").
+std::string last_ident_of(std::string_view expr) {
+  std::size_t end = expr.size();
+  while (end > 0 && !(std::isalnum(static_cast<unsigned char>(
+                          expr[end - 1])) != 0 ||
+                      expr[end - 1] == '_')) {
+    --end;
+  }
+  std::size_t begin = end;
+  while (begin > 0 && (std::isalnum(static_cast<unsigned char>(
+                           expr[begin - 1])) != 0 ||
+                       expr[begin - 1] == '_')) {
+    --begin;
+  }
+  return std::string(expr.substr(begin, end - begin));
+}
+
+struct Hold {
+  std::string mutex;    // last identifier of the locked expression
+  std::string lockvar;  // RAII object name; empty for requires_lock holds
+  bool active = true;
+};
+
+struct Local {
+  std::string name;
+  std::string type;         // empty when not lexically resolvable
+  std::string guard_mutex;  // nonempty for `guarded_by(...)` locals
+};
+
+enum class ScopeKind { kRoot, kNamespace, kClass, kBlock };
+
+struct Scope {
+  ScopeKind kind = ScopeKind::kBlock;
+  std::string class_ctx;  // enclosing class for member resolution
+  std::string ctor_of;    // set in a ctor/dtor scope of that class
+  bool ignore = false;    // `ignore(guarded-by)` on the scope header
+  std::vector<Hold> holds;
+  std::vector<Local> locals;
+};
+
+/// A matched declaration prefix: `[quals] Type[<...>] [&*] name [terminator]`.
+struct DeclMatch {
+  std::string type;
+  std::string name;
+  /// Index (within the parsed span) of a `(`/`{` initializer opener
+  /// directly after the name; kNpos when the declaration has none.
+  std::size_t init_open = kNpos;
+};
+
+/// Try to read a variable declaration from the front of `toks`.  Handles
+/// the `auto name = std::make_unique<T>(...)` / `std::get_if<T>(...)`
+/// shapes (resolving T) and plain `Type name` chains.  Fails (nullopt) on
+/// anything that does not look like a declaration.
+std::optional<DeclMatch> parse_decl(std::span<const Token> toks) {
+  std::size_t k = 0;
+  while (k < toks.size() && is_decl_qualifier(toks[k].text)) ++k;
+  if (k >= toks.size()) return std::nullopt;
+
+  if (toks[k].text == "auto") {
+    ++k;
+    while (k < toks.size() &&
+           (toks[k].text == "&" || toks[k].text == "*" ||
+            toks[k].text == "const")) {
+      ++k;
+    }
+    if (k >= toks.size() || !toks[k].is_ident() || is_reserved(toks[k].text)) {
+      return std::nullopt;
+    }
+    DeclMatch m;
+    m.name = std::string(toks[k].text);
+    if (k + 1 >= toks.size() || toks[k + 1].text != "=") return std::nullopt;
+    // Resolve `std::make_unique<T>` / `make_shared<T>` / `get_if<T>`.
+    for (std::size_t j = k + 2; j + 2 < toks.size(); ++j) {
+      const std::string_view t = toks[j].text;
+      if ((t == "make_unique" || t == "make_shared" || t == "get_if") &&
+          toks[j + 1].text == "<") {
+        std::string type;
+        for (std::size_t a = j + 2; a < toks.size(); ++a) {
+          const std::string_view u = toks[a].text;
+          if (u == ">" || u == "," || u == "<") break;
+          if (toks[a].is_ident() && !is_reserved(u)) type = std::string(u);
+        }
+        m.type = std::move(type);
+        break;
+      }
+    }
+    return m;
+  }
+
+  // Type chain: ident (:: ident)*, allowing builtin type keywords.
+  if (!toks[k].is_ident() ||
+      (is_reserved(toks[k].text) && !is_builtin_type(toks[k].text))) {
+    return std::nullopt;
+  }
+  std::string type(toks[k].text);
+  ++k;
+  while (k + 1 < toks.size() && toks[k].text == "::" &&
+         toks[k + 1].is_ident() && !is_reserved(toks[k + 1].text)) {
+    type = std::string(toks[k + 1].text);
+    k += 2;
+  }
+  if (k < toks.size() && toks[k].text == "<") {
+    int angle = 0;
+    for (; k < toks.size(); ++k) {
+      if (toks[k].text == "<") ++angle;
+      if (toks[k].text == ">" && --angle == 0) break;
+    }
+    if (k >= toks.size()) return std::nullopt;  // `a < b` expression
+    ++k;
+  }
+  while (k < toks.size() &&
+         (toks[k].text == "&" || toks[k].text == "*" ||
+          toks[k].text == "const")) {
+    ++k;
+  }
+  if (k >= toks.size() || !toks[k].is_ident() || is_reserved(toks[k].text)) {
+    return std::nullopt;
+  }
+  DeclMatch m;
+  m.type = std::move(type);
+  m.name = std::string(toks[k].text);
+  if (k + 1 < toks.size()) {
+    const std::string_view term = toks[k + 1].text;
+    if (term == "(" || term == "{") {
+      m.init_open = k + 1;
+    } else if (term != "=" && term != ":" && term != "," && term != ")" &&
+               term != ";") {
+      return std::nullopt;
+    }
+  }
+  return m;
+}
+
+/// Split the tokens of one paren/brace group into top-level comma-separated
+/// argument spans.  `open` indexes the opener within `toks`.
+std::vector<std::span<const Token>> split_args(std::span<const Token> toks,
+                                               std::size_t open) {
+  std::vector<std::span<const Token>> out;
+  int depth = 0;
+  std::size_t begin = open + 1;
+  for (std::size_t k = open; k < toks.size(); ++k) {
+    const std::string_view t = toks[k].text;
+    if (t == "(" || t == "{" || t == "[") ++depth;
+    if (t == ")" || t == "}" || t == "]") {
+      if (--depth == 0) {
+        if (k > begin) out.push_back(toks.subspan(begin, k - begin));
+        return out;
+      }
+    }
+    if (t == "," && depth == 1) {
+      if (k > begin) out.push_back(toks.subspan(begin, k - begin));
+      begin = k + 1;
+    }
+  }
+  return out;
+}
+
+class Walker {
+ public:
+  Walker(const ParsedFile& file,
+         const std::map<std::pair<std::string, std::string>, std::string>&
+             guard_map)
+      : src_(*file.source),
+        guard_map_(guard_map),
+        tokens_(tokenize(file.source->code)) {
+    scopes_.push_back(Scope{ScopeKind::kRoot, {}, {}, false, {}, {}});
+  }
+
+  std::vector<GuardViolation> run() {
+    std::size_t stmt_begin = 0;
+    int stmt_parens = 0;
+    for (std::size_t i = 0; i < tokens_.size(); ++i) {
+      const std::string_view t = tokens_[i].text;
+      if (t == "(") ++stmt_parens;
+      if (t == ")") stmt_parens = std::max(0, stmt_parens - 1);
+      if (t == "{") {
+        open_scope(stmt_begin, i);
+        // Skip the whole group when this brace is a class member's default
+        // initializer or similar?  No: nested scopes are walked normally.
+        stmt_begin = i + 1;
+        stmt_parens = 0;
+        continue;
+      }
+      if (t == "}") {
+        if (scopes_.size() > 1) scopes_.pop_back();
+        stmt_begin = i + 1;
+        stmt_parens = 0;
+        continue;
+      }
+      if (t == ";" && stmt_parens == 0) {
+        end_statement(stmt_begin, i);
+        stmt_begin = i + 1;
+        continue;
+      }
+      if (tokens_[i].is_ident()) check_access(i);
+    }
+    return std::move(out_);
+  }
+
+ private:
+  /// Annotation lines covering a statement header: from its first token's
+  /// line through `last_line`.
+  template <typename Fn>
+  void each_header_line(std::size_t begin_tok, std::size_t last_line,
+                        Fn&& fn) {
+    std::size_t first_line = last_line;
+    if (begin_tok < tokens_.size()) {
+      first_line = std::min(first_line,
+                            src_.line_of(tokens_[begin_tok].offset));
+    }
+    for (std::size_t ln = first_line; ln <= last_line; ++ln) fn(ln);
+  }
+
+  void open_scope(std::size_t stmt_begin, std::size_t open_idx) {
+    const std::span<const Token> header(tokens_.data() + stmt_begin,
+                                        open_idx - stmt_begin);
+    Scope scope;
+    scope.class_ctx = scopes_.back().class_ctx;
+    scope.ctor_of.clear();
+
+    // Classify: namespace / class-like / block.
+    bool is_enum = false;
+    std::size_t class_kw = kNpos;
+    for (std::size_t k = 0; k < header.size(); ++k) {
+      const std::string_view t = header[k].text;
+      if (t == "namespace") {
+        scopes_.push_back(Scope{ScopeKind::kNamespace, scope.class_ctx,
+                                {}, false, {}, {}});
+        return;
+      }
+      if (t == "enum") is_enum = true;
+      if ((t == "class" || t == "struct" || t == "union") && !is_enum) {
+        class_kw = k;
+      }
+    }
+    if (is_enum) {
+      scopes_.push_back(Scope{ScopeKind::kClass, scope.class_ctx, {},
+                              false, {}, {}});
+      return;
+    }
+    if (class_kw != kNpos && class_kw + 1 < header.size() &&
+        header[class_kw + 1].is_ident() &&
+        !is_reserved(header[class_kw + 1].text)) {
+      scope.kind = ScopeKind::kClass;
+      // Qualified definitions (`struct Coordinator::Impl {`) bind the last
+      // component, matching the parser's ClassDecl name.
+      std::size_t n = class_kw + 1;
+      while (n + 2 < header.size() && header[n + 1].text == "::" &&
+             header[n + 2].is_ident() && !is_reserved(header[n + 2].text)) {
+        n += 2;
+      }
+      scope.class_ctx = std::string(header[n].text);
+      scopes_.push_back(std::move(scope));
+      return;
+    }
+
+    scope.kind = ScopeKind::kBlock;
+
+    // Out-of-line `Cls::method(` headers rebind the class context; a
+    // method named like the class (or `~Cls`) is a ctor/dtor.
+    std::size_t first_paren = kNpos;
+    for (std::size_t k = 0; k < header.size(); ++k) {
+      if (header[k].text == "(") {
+        first_paren = k;
+        break;
+      }
+    }
+    if (first_paren != kNpos && first_paren >= 1) {
+      const std::size_t m = first_paren - 1;  // method name index
+      if (m >= 2 && header[m].is_ident() && header[m - 1].text == "::" &&
+          header[m - 2].is_ident()) {
+        scope.class_ctx = std::string(header[m - 2].text);
+        if (header[m].text == scope.class_ctx) scope.ctor_of = scope.class_ctx;
+      } else if (m >= 2 && header[m].is_ident() && header[m - 1].text == "~" &&
+                 header[m - 2].text == "::") {
+        scope.class_ctx = std::string(header[m].text);
+        scope.ctor_of = scope.class_ctx;
+      } else if (!scope.class_ctx.empty() && header[m].is_ident() &&
+                 scopes_.back().kind == ScopeKind::kClass) {
+        // Inline ctor/dtor in the class body.
+        if (header[m].text == scope.class_ctx &&
+            (m == 0 || header[m - 1].text != "::")) {
+          scope.ctor_of = scope.class_ctx;
+        }
+        if (m >= 1 && header[m - 1].text == "~" &&
+            header[m].text == scope.class_ctx) {
+          scope.ctor_of = scope.class_ctx;
+        }
+      }
+    }
+
+    // Parameters: declarations inside the last top-level paren group.
+    std::size_t last_group = kNpos;
+    int depth = 0;
+    for (std::size_t k = 0; k < header.size(); ++k) {
+      if (header[k].text == "(" && depth++ == 0) last_group = k;
+      if (header[k].text == ")") depth = std::max(0, depth - 1);
+    }
+    if (last_group != kNpos) {
+      for (std::span<const Token> arg : split_args(header, last_group)) {
+        // Classic-for init clauses arrive `;`-joined; parse the first.
+        if (const auto decl = parse_decl(arg)) {
+          scope.locals.push_back(Local{decl->name, decl->type, {}});
+        }
+      }
+    }
+
+    // Header annotations: requires_lock contracts and scope-level ignores.
+    const std::size_t open_line = src_.line_of(tokens_[open_idx].offset);
+    std::string lock_param;
+    std::size_t lock_params = 0;
+    for (const Local& l : scope.locals) {
+      if (l.type == "unique_lock") {
+        lock_param = l.name;
+        ++lock_params;
+      }
+    }
+    if (lock_params != 1) lock_param.clear();
+    each_header_line(stmt_begin, open_line, [&](std::size_t ln) {
+      if (const auto arg = src_.annotation_arg(ln, "requires_lock");
+          arg && !arg->empty()) {
+        Hold hold{last_ident_of(*arg), lock_param, true};
+        if (std::none_of(scope.holds.begin(), scope.holds.end(),
+                         [&](const Hold& h) {
+                           return h.mutex == hold.mutex;
+                         })) {
+          scope.holds.push_back(std::move(hold));
+        }
+      }
+      if (src_.has_annotation(ln, "ignore(guarded-by)")) scope.ignore = true;
+    });
+
+    scopes_.push_back(std::move(scope));
+  }
+
+  void end_statement(std::size_t begin, std::size_t semi) {
+    Scope& scope = scopes_.back();
+    const std::span<const Token> stmt(tokens_.data() + begin, semi - begin);
+    if (stmt.empty()) return;
+
+    // Mid-scope lock flow: `x.unlock()` / `x.lock()` on a known RAII var.
+    for (std::size_t k = 0; k + 3 < stmt.size(); ++k) {
+      if (!stmt[k].is_ident() || stmt[k + 1].text != "." ||
+          stmt[k + 3].text != "(") {
+        continue;
+      }
+      const std::string_view call = stmt[k + 2].text;
+      if (call != "lock" && call != "unlock") continue;
+      for (Scope& s : scopes_) {
+        for (Hold& h : s.holds) {
+          if (!h.lockvar.empty() && h.lockvar == stmt[k].text) {
+            h.active = (call == "lock");
+          }
+        }
+      }
+    }
+
+    // Local declarations (class bodies declare fields, not locals; those
+    // come in through the guarded-field registry instead).
+    if (scope.kind != ScopeKind::kBlock) return;
+    const auto decl = parse_decl(stmt);
+    if (!decl) return;
+
+    Local local{decl->name, decl->type, {}};
+    const std::size_t stmt_line = src_.line_of(stmt.front().offset);
+    const std::size_t semi_line = src_.line_of(tokens_[semi].offset);
+    for (std::size_t ln = stmt_line; ln <= semi_line; ++ln) {
+      if (const auto arg = src_.annotation_arg(ln, "guarded_by");
+          arg && !arg->empty()) {
+        local.guard_mutex = last_ident_of(*arg);
+        break;
+      }
+    }
+
+    // RAII lock declarations create holds in this scope.
+    if (is_lock_type(decl->type) && decl->init_open != kNpos) {
+      bool defer = false;
+      std::vector<std::string> mutexes;
+      for (std::span<const Token> arg : split_args(stmt, decl->init_open)) {
+        bool tag = false;
+        std::string last;
+        for (const Token& t : arg) {
+          if (t.text == "defer_lock") defer = tag = true;
+          if (t.text == "adopt_lock" || t.text == "try_to_lock") tag = true;
+          if (t.is_ident() && !is_reserved(t.text) && t.text != "std") {
+            last = std::string(t.text);
+          }
+        }
+        if (!tag && !last.empty()) mutexes.push_back(std::move(last));
+      }
+      for (std::string& m : mutexes) {
+        scope.holds.push_back(Hold{std::move(m), decl->name, !defer});
+      }
+    }
+    scope.locals.push_back(std::move(local));
+  }
+
+  const Local* find_local(std::string_view name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      for (const Local& l : it->locals) {
+        if (l.name == name) return &l;
+      }
+    }
+    return nullptr;
+  }
+
+  bool holding(std::string_view mutex) const {
+    for (const Scope& s : scopes_) {
+      for (const Hold& h : s.holds) {
+        if (h.active && h.mutex == mutex) return true;
+      }
+    }
+    return false;
+  }
+
+  bool exempt(std::string_view cls) const {
+    for (const Scope& s : scopes_) {
+      if (s.ignore) return true;
+      if (!cls.empty() && s.ctor_of == cls) return true;
+    }
+    return false;
+  }
+
+  void require(std::size_t idx, std::string_view cls,
+               std::string_view mutex) {
+    if (holding(mutex) || exempt(cls)) return;
+    out_.push_back(GuardViolation{tokens_[idx].offset,
+                                  std::string(tokens_[idx].text),
+                                  std::string(mutex)});
+  }
+
+  void check_access(std::size_t i) {
+    if (scopes_.back().kind != ScopeKind::kBlock) return;
+    const std::string_view name = tokens_[i].text;
+    if (is_reserved(name)) return;
+
+    // Qualified names (`Cls::member`) and destructor mentions are skipped.
+    if (i > 0 && (tokens_[i - 1].text == "::" || tokens_[i - 1].text == "~")) {
+      return;
+    }
+
+    // Member access: resolve the base object's type.
+    std::size_t base_idx = kNpos;
+    if (i >= 2 && tokens_[i - 1].text == ".") {
+      base_idx = i - 2;
+    } else if (i >= 3 && tokens_[i - 1].text == ">" &&
+               tokens_[i - 2].text == "-") {
+      base_idx = i - 3;
+    }
+    if (base_idx != kNpos) {
+      const Token& base = tokens_[base_idx];
+      if (base.text == "this") {
+        member_lookup(i, scopes_.back().class_ctx);
+        return;
+      }
+      if (!base.is_ident()) return;  // `f().x`, `a[i].x`: not resolvable
+      const Local* local = find_local(base.text);
+      if (local == nullptr || local->type.empty()) return;  // fail safe
+      member_lookup(i, local->type);
+      return;
+    }
+
+    // Unqualified: a local (guarded or plain) wins over the class context.
+    if (const Local* local = find_local(name)) {
+      if (!local->guard_mutex.empty()) require(i, {}, local->guard_mutex);
+      return;
+    }
+    member_lookup(i, scopes_.back().class_ctx);
+  }
+
+  void member_lookup(std::size_t i, std::string_view cls) {
+    if (cls.empty()) return;
+    const auto it = guard_map_.find(
+        {std::string(cls), std::string(tokens_[i].text)});
+    if (it == guard_map_.end()) return;
+    require(i, cls, it->second);
+  }
+
+  const SourceFile& src_;
+  const std::map<std::pair<std::string, std::string>, std::string>&
+      guard_map_;
+  std::vector<Token> tokens_;
+  std::vector<Scope> scopes_;
+  std::vector<GuardViolation> out_;
+};
+
+}  // namespace
+
+std::vector<GuardViolation> guarded_by_violations(
+    const ParsedFile& file, const std::vector<GuardedField>& guarded) {
+  std::map<std::pair<std::string, std::string>, std::string> guard_map;
+  for (const GuardedField& g : guarded) {
+    guard_map.emplace(std::make_pair(g.cls, g.field), g.mutex);
+  }
+  Walker walker(file, guard_map);
+  return walker.run();
+}
+
+}  // namespace dynvote::lint

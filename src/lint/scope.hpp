@@ -1,0 +1,45 @@
+// Flow-aware lock-discipline analysis for dvlint's guarded-by check.
+//
+// The walker models the things the repo's concurrency style actually uses:
+// brace scopes, RAII `lock_guard`/`unique_lock`/`scoped_lock` holds
+// (including mid-scope `.unlock()`/`.lock()` transitions and
+// `std::defer_lock`), `// dvlint: requires_lock(<mutex>)` contracts on
+// helper functions that demand a caller-held lock, `// dvlint:
+// guarded_by(<mutex>)` on locals as well as fields, and constructor/
+// destructor exemption (no concurrent access can exist while the object is
+// being built or torn down).  Like the rest of dvlint it is lexical, not
+// semantic: accesses whose base object cannot be typed from the local
+// declarations in view fail safe (no finding) rather than guess.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lint/parse.hpp"
+
+namespace dynvote::lint {
+
+/// A field of class `cls` annotated `// dvlint: guarded_by(<mutex>)`:
+/// touching it requires a scope holding `mutex`.
+struct GuardedField {
+  std::string cls;
+  std::string field;
+  std::string mutex;  // last identifier of the annotation argument
+};
+
+/// One touch of a guarded field (or guarded local) outside a scope holding
+/// its mutex.
+struct GuardViolation {
+  std::size_t offset = 0;  // byte offset of the identifier in `code`
+  std::string name;
+  std::string mutex;
+};
+
+/// Walk one file's scopes and report every unguarded touch.  `guarded` is
+/// the repo-wide field registry; guarded locals are discovered per file
+/// from their own annotations.
+std::vector<GuardViolation> guarded_by_violations(
+    const ParsedFile& file, const std::vector<GuardedField>& guarded);
+
+}  // namespace dynvote::lint

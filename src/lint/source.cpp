@@ -69,6 +69,23 @@ bool SourceFile::has_annotation(std::size_t line,
   return false;
 }
 
+std::optional<std::string> SourceFile::annotation_arg(
+    std::size_t line, std::string_view marker) const {
+  if (line == 0 || line > annotations.size()) return std::nullopt;
+  for (const std::string& m : annotations[line - 1]) {
+    const std::string_view got = m;
+    if (got == marker) return std::string();
+    const std::size_t paren = got.find('(');
+    if (paren == std::string_view::npos || got.substr(0, paren) != marker) {
+      continue;
+    }
+    std::string_view arg = got.substr(paren + 1);
+    if (!arg.empty() && arg.back() == ')') arg.remove_suffix(1);
+    return std::string(arg);
+  }
+  return std::nullopt;
+}
+
 SourceFile load_source(const std::string& abs_path, std::string rel_path) {
   std::ifstream in(abs_path, std::ios::binary);
   if (!in) throw std::runtime_error("dvlint: cannot read " + abs_path);
@@ -100,6 +117,21 @@ SourceFile load_source(const std::string& abs_path, std::string rel_path) {
     if (code[at] != '\n') code[at] = ' ';
   };
 
+  // Length of the optional encoding prefix plus `R` when a raw string
+  // literal (`R"delim(...)delim"`, possibly `u8R`/`uR`/`UR`/`LR`) starts at
+  // `at`; 0 otherwise.  The returned count excludes the opening quote.
+  auto raw_prefix_len = [&](std::size_t at) -> std::size_t {
+    std::size_t p = at;
+    if (p < n && (text[p] == 'u' || text[p] == 'U' || text[p] == 'L')) {
+      if (text[p] == 'u' && p + 1 < n && text[p + 1] == '8') ++p;
+      ++p;
+    }
+    if (p >= n || text[p] != 'R') return 0;
+    ++p;
+    if (p >= n || text[p] != '"') return 0;
+    return p - at;
+  };
+
   while (i < n) {
     const char c = text[i];
     if (c == '\n') {
@@ -108,10 +140,21 @@ SourceFile load_source(const std::string& abs_path, std::string rel_path) {
       continue;
     }
     if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      // A `//` comment, including backslash-continued follow-on lines (the
+      // continuation swallows the next physical line into the comment).
       const std::size_t start = i;
-      while (i < n && text[i] != '\n') blank(i++);
+      const std::size_t first_line = line;
+      while (i < n) {
+        if (text[i] == '\n') {
+          if (text[i - 1] != '\\') break;
+          ++line;
+          ++i;
+          continue;
+        }
+        blank(i++);
+      }
       harvest_markers(std::string_view(text).substr(start, i - start),
-                      line_markers[line]);
+                      line_markers[first_line]);
       continue;
     }
     if (c == '/' && i + 1 < n && text[i + 1] == '*') {
@@ -129,6 +172,55 @@ SourceFile load_source(const std::string& abs_path, std::string rel_path) {
       harvest_markers(std::string_view(text).substr(start, i - start),
                       line_markers[std::min(line, line_count - 1)]);
       continue;
+    }
+    if (c == '#' && !line_has_code[line]) {
+      // Preprocessor directive.  All directives are blanked (continuation
+      // aware) except #include, whose quoted path the include scanner reads
+      // back out of `code`.
+      std::size_t d = i + 1;
+      while (d < n && (text[d] == ' ' || text[d] == '\t')) ++d;
+      const bool is_include = text.compare(d, 7, "include") == 0;
+      line_has_code[line] = true;
+      if (!is_include) {
+        while (i < n) {
+          if (text[i] == '\n') {
+            if (text[i - 1] != '\\') break;
+            ++line;
+            ++i;
+            continue;
+          }
+          blank(i++);
+        }
+        continue;
+      }
+      ++i;
+      continue;
+    }
+    if ((c == 'R' || c == 'u' || c == 'U' || c == 'L') &&
+        (i == 0 || !ident_char(text[i - 1]))) {
+      if (const std::size_t pre = raw_prefix_len(i); pre != 0) {
+        // Raw string literal: find the matching `)delim"` and blank the
+        // whole literal, prefix and quotes included, preserving newlines.
+        line_has_code[line] = true;
+        const std::size_t quote = i + pre;  // index of the opening '"'
+        std::size_t d = quote + 1;
+        while (d < n && text[d] != '(' && text[d] != '"' && text[d] != '\n' &&
+               d - quote <= 17) {
+          ++d;
+        }
+        if (d < n && text[d] == '(') {
+          std::string close_seq = ")";
+          close_seq += text.substr(quote + 1, d - quote - 1);
+          close_seq += '"';
+          std::size_t end = text.find(close_seq, d + 1);
+          end = end == std::string::npos ? n : end + close_seq.size();
+          while (i < end) {
+            if (text[i] == '\n') ++line;
+            blank(i++);
+          }
+          continue;
+        }
+      }
     }
     if (c == '"' || c == '\'') {
       const char quote = c;

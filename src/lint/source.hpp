@@ -1,15 +1,18 @@
 // Source loading and lexical preprocessing for dvlint.
 //
 // Checks never look at raw text: they look at `code`, a same-length copy of
-// the file with every comment and string/char literal blanked to spaces
+// the file with every comment, string/char literal (raw `R"(...)"` forms
+// included), and non-#include preprocessor directive blanked to spaces
 // (newlines preserved, so offsets and line numbers agree with the raw
-// file).  Annotations (`dvlint: ...` markers) are harvested from the
-// comments before blanking; an annotation on a comment-only line also
-// covers the next source line, so fields can be annotated either inline or
-// on the line above.
+// file).  Backslash line-continuations extend `//` comments and directives
+// across lines, as in the language.  Annotations (`dvlint: ...` markers)
+// are harvested from the comments before blanking; an annotation on a
+// comment-only line also covers the next source line, so fields can be
+// annotated either inline or on the line above.
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -32,6 +35,13 @@ struct SourceFile {
   /// True when `marker` (e.g. "transient", "ignore(layering)") covers
   /// `line`.  Matches "transient(...)" for marker "transient" too.
   bool has_annotation(std::size_t line, std::string_view marker) const;
+
+  /// The parenthesized payload of a `marker(arg)` annotation covering
+  /// `line` -- e.g. "mutex_" for marker "guarded_by" and annotation
+  /// "guarded_by(mutex_)".  nullopt when no such annotation covers the
+  /// line; an argument-less marker yields an empty string.
+  std::optional<std::string> annotation_arg(std::size_t line,
+                                            std::string_view marker) const;
 };
 
 /// Load and preprocess one file.  Throws std::runtime_error when unreadable.

@@ -183,18 +183,21 @@ struct ShardPartial {
 /// scheduler mutex except where noted.
 struct CaseState {
   /// Fresh-start parallel case: next unclaimed run index.
-  std::uint64_t next_fresh_run = 0;
+  std::uint64_t next_fresh_run = 0;  // dvlint: guarded_by(scheduler_mutex)
   bool fresh_parallel = false;
   /// Cascading pipeline: shard boundaries the scout must checkpoint at.
+  /// boundaries/checkpoints/partials/compute_seconds are deliberately
+  /// unannotated: the serial path and finish_case touch them with the case
+  /// complete (no other worker can), not under the scheduler lock.
   std::vector<std::uint64_t> boundaries;
   std::uint64_t cascade_shard_size = 0;
   std::vector<CascadeCheckpoint> checkpoints;
   std::vector<ShardPartial> partials;
   double compute_seconds = 0.0;
-  std::uint64_t finished_runs = 0;
-  std::size_t steals = 0;
+  std::uint64_t finished_runs = 0;   // dvlint: guarded_by(scheduler_mutex)
+  std::size_t steals = 0;            // dvlint: guarded_by(scheduler_mutex)
   /// Last worker that claimed a unit of this case; SIZE_MAX = none yet.
-  std::size_t last_worker = SIZE_MAX;
+  std::size_t last_worker = SIZE_MAX;  // dvlint: guarded_by(scheduler_mutex)
 };
 
 }  // namespace
@@ -214,8 +217,10 @@ SweepResult run_sweep(const SweepSpec& spec) {
   std::size_t cases_done = 0;
 
   // Called with the scheduler lock NOT held (single-job path) or held only
-  // by the finishing worker's bookkeeping; partials are complete by then.
-  const auto finish_case = [&](std::size_t case_index, CaseState& state) {
+  // by the finishing worker's bookkeeping; partials are complete by then,
+  // so the finishing worker has exclusive access to the whole CaseState.
+  const auto finish_case =  // dvlint: ignore(guarded-by)
+      [&](std::size_t case_index, CaseState& state) {
     CaseOutcome& outcome = result.cases[case_index];
     outcome.algorithm = spec.cases[case_index].algorithm.empty()
                             ? to_string(spec.cases[case_index].spec.algorithm)
@@ -289,46 +294,51 @@ SweepResult run_sweep(const SweepSpec& spec) {
   // others (the steal counters record exactly that).
   std::mutex scheduler_mutex;
   std::condition_variable work_available;
-  std::deque<WorkUnit> unit_queue;
+  std::deque<WorkUnit> unit_queue;  // dvlint: guarded_by(scheduler_mutex)
   std::vector<CaseState> states(case_count);
-  std::size_t active_scouts = 0;
-  bool aborting = false;
+  std::size_t active_scouts = 0;    // dvlint: guarded_by(scheduler_mutex)
+  bool aborting = false;            // dvlint: guarded_by(scheduler_mutex)
 
-  for (std::size_t i = 0; i < case_count; ++i) {
-    const CaseSpec& cs = spec.cases[i].spec;
-    CaseState& state = states[i];
-    if (cs.runs == 0) {
-      unit_queue.push_back(WorkUnit{WorkUnit::Kind::kWholeCase, i, 0, 0, 0});
-      continue;
-    }
-    if (cs.mode == RunMode::kFreshStart) {
-      state.fresh_parallel = true;
-      continue;
-    }
-    // Cascading: shard through scout checkpoints when the case is big
-    // enough to split and the shards actually measure something the scout
-    // skips (with all observability off, re-running what the scout already
-    // simulated would only add work).
-    const std::uint64_t size =
-        shard_size_for(cs.runs, jobs, spec.min_shard_runs);
-    const bool instrumented = cs.check_invariants || cs.measure_wire_sizes;
-    if (size < cs.runs && instrumented) {
-      state.cascade_shard_size = size;
-      for (std::uint64_t b = size; b < cs.runs; b += size) {
-        state.boundaries.push_back(b);
+  {
+    // No worker thread exists yet; locked to keep guarded-by checkable.
+    std::lock_guard<std::mutex> lock(scheduler_mutex);
+    for (std::size_t i = 0; i < case_count; ++i) {
+      const CaseSpec& cs = spec.cases[i].spec;
+      CaseState& state = states[i];
+      if (cs.runs == 0) {
+        unit_queue.push_back(WorkUnit{WorkUnit::Kind::kWholeCase, i, 0, 0, 0});
+        continue;
       }
-      unit_queue.push_back(WorkUnit{WorkUnit::Kind::kScout, i, 0, 0, 0});
-      ++active_scouts;
-    } else {
-      unit_queue.push_back(
-          WorkUnit{WorkUnit::Kind::kWholeCase, i, 0, 0, cs.runs});
+      if (cs.mode == RunMode::kFreshStart) {
+        state.fresh_parallel = true;
+        continue;
+      }
+      // Cascading: shard through scout checkpoints when the case is big
+      // enough to split and the shards actually measure something the scout
+      // skips (with all observability off, re-running what the scout
+      // already simulated would only add work).
+      const std::uint64_t size =
+          shard_size_for(cs.runs, jobs, spec.min_shard_runs);
+      const bool instrumented = cs.check_invariants || cs.measure_wire_sizes;
+      if (size < cs.runs && instrumented) {
+        state.cascade_shard_size = size;
+        for (std::uint64_t b = size; b < cs.runs; b += size) {
+          state.boundaries.push_back(b);
+        }
+        unit_queue.push_back(WorkUnit{WorkUnit::Kind::kScout, i, 0, 0, 0});
+        ++active_scouts;
+      } else {
+        unit_queue.push_back(
+            WorkUnit{WorkUnit::Kind::kWholeCase, i, 0, 0, cs.runs});
+      }
     }
   }
 
   // Claim the next unit for `worker`.  Returns false when the sweep has no
   // work left (or is aborting).  Lock is held throughout.
-  const auto try_claim = [&](std::size_t worker, std::unique_lock<std::mutex>& lock,
-                             WorkUnit& out) -> bool {
+  const auto try_claim =  // dvlint: requires_lock(scheduler_mutex)
+      [&](std::size_t worker, std::unique_lock<std::mutex>& lock,
+          WorkUnit& out) -> bool {
     for (;;) {
       if (aborting) return false;
       if (!unit_queue.empty()) {

@@ -46,10 +46,10 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable work_ready_;
   std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
-  std::size_t in_flight_ = 0;
-  std::exception_ptr first_error_;
-  bool shutdown_ = false;
+  std::deque<std::function<void()>> queue_;      // dvlint: guarded_by(mutex_)
+  std::size_t in_flight_ = 0;                    // dvlint: guarded_by(mutex_)
+  std::exception_ptr first_error_;               // dvlint: guarded_by(mutex_)
+  bool shutdown_ = false;                        // dvlint: guarded_by(mutex_)
   std::vector<std::thread> workers_;
 };
 

@@ -144,7 +144,9 @@ RunResult decode_run_result(Decoder& dec) {
   r.primary_at_end = dec.get_bool();
   r.observer_ambiguous_at_end = dec.get_varint();
   const std::uint64_t n = dec.get_varint();
-  if (n > 1'000'000) throw DecodeError("implausible per-change sample count");
+  if (n > 1'000'000 || n > dec.remaining()) {
+    throw DecodeError("implausible per-change sample count");
+  }
   r.observer_ambiguous_at_changes.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) {
     r.observer_ambiguous_at_changes.push_back(dec.get_varint());

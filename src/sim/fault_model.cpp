@@ -246,7 +246,8 @@ void RepairableFaultModel::load(Decoder& dec) {
   next_failure_at_ = dec.get_varint();
 
   const std::uint64_t serviced = dec.get_varint();
-  if (serviced > capacity_ || serviced > processes_) {
+  if (serviced > capacity_ || serviced > processes_ ||
+      serviced > dec.remaining()) {
     throw DecodeError("repair snapshot exceeds the shop capacity");
   }
   in_service_.clear();
@@ -261,7 +262,7 @@ void RepairableFaultModel::load(Decoder& dec) {
     in_service_.push_back(repair);
   }
   const std::uint64_t queued = dec.get_varint();
-  if (serviced + queued > processes_) {
+  if (serviced + queued > processes_ || queued > dec.remaining()) {
     throw DecodeError("repair snapshot holds more processes than exist");
   }
   queue_.clear();

@@ -41,7 +41,7 @@ namespace dynvote {
 class Encoder;
 class Decoder;
 
-enum class FaultModelKind : std::uint8_t {
+enum class FaultModelKind : std::uint8_t {  // dvlint: wire_enum
   kGeometric = 0,
   kSleepy = 1,
   kRepairable = 2,

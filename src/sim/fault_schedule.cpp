@@ -11,6 +11,7 @@ namespace dynvote {
 FaultScheduler::FaultScheduler(std::uint64_t seed,
                                double mean_rounds_between_changes,
                                double crash_fraction)
+    // dvlint: raw-seed(retagging would shift the pinned geometric baselines)
     : rng_(seed),
       p_(1.0 / (mean_rounds_between_changes + 1.0)),
       crash_fraction_(crash_fraction) {

@@ -1,0 +1,35 @@
+// Clean bounded-decode corpus: every reserve()/resize() fed by a decoded
+// count first bounds the count by the decoder's remaining bytes, so a
+// hostile length prefix fails in the decoder instead of the allocator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dynvote::fixture {
+
+struct Decoder;
+struct DecodeError;
+
+inline std::vector<std::uint64_t> decode_values(Decoder& dec) {
+  const std::uint64_t count = dec.get_varint();
+  if (count > dec.remaining()) {
+    throw DecodeError("value count exceeds the frame body");
+  }
+  std::vector<std::uint64_t> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) out.push_back(dec.get_varint());
+  return out;
+}
+
+inline std::vector<std::uint8_t> decode_bitmap(Decoder& dec) {
+  const std::uint64_t bits = dec.get_varint();
+  if ((bits + 7) / 8 > dec.remaining()) {
+    throw DecodeError("bitmap larger than the frame body");
+  }
+  std::vector<std::uint8_t> bytes;
+  bytes.resize(static_cast<std::size_t>((bits + 7) / 8));
+  return bytes;
+}
+
+}  // namespace dynvote::fixture

@@ -1,0 +1,27 @@
+// Bounded-decode violations: a reserve from a decoded count with no
+// remaining-bytes bound, and a resize fed by a decoder getter directly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dynvote::fixture {
+
+struct Decoder;
+
+inline std::vector<std::uint64_t> decode_values(Decoder& dec) {
+  const std::uint64_t n = dec.get_varint();
+  std::vector<std::uint64_t> out;
+  out.reserve(static_cast<std::size_t>(n));  // unbounded: 10 varint bytes
+                                             // can demand gigabytes
+  for (std::uint64_t i = 0; i < n; ++i) out.push_back(dec.get_varint());
+  return out;
+}
+
+inline std::vector<std::uint8_t> decode_blob(Decoder& dec) {
+  std::vector<std::uint8_t> blob;
+  blob.resize(dec.get_varint());  // decoded length straight into resize
+  return blob;
+}
+
+}  // namespace dynvote::fixture

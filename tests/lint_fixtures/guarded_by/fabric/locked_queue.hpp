@@ -1,0 +1,64 @@
+// Clean guarded-by corpus: every touch of an annotated field happens under
+// the right lock, through a requires_lock helper, in a ctor/dtor, or via
+// the flow-aware unlock/relock transitions.
+#pragma once
+
+#include <deque>
+#include <mutex>
+
+namespace dynvote::fixture {
+
+class LockedQueue {
+ public:
+  LockedQueue() {
+    depth_ = 1;  // constructor: no concurrent access can exist yet
+  }
+
+  void push(int value) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(value);
+    ++depth_;
+  }
+
+  int drain() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    int total = 0;
+    while (!queue_.empty()) {
+      const int value = queue_.front();
+      queue_.pop_front();
+      lock.unlock();
+      total += expensive_transform(value);  // unlocked: no guarded touches
+      lock.lock();
+      ++depth_;  // re-held after the explicit relock
+    }
+    return total + drained_locked();
+  }
+
+  void set_bound(int bound) {
+    std::unique_lock<std::mutex> lock(mutex_, std::defer_lock);
+    lock.lock();  // defer_lock starts inactive; explicit lock() arms it
+    bound_ = bound;
+  }
+
+ private:
+  static int expensive_transform(int value) { return value * 2; }
+
+  int drained_locked() {  // dvlint: requires_lock(mutex_)
+    return depth_ + bound_;
+  }
+
+  std::mutex mutex_;
+  std::deque<int> queue_;  // dvlint: guarded_by(mutex_)
+  int depth_ = 0;          // dvlint: guarded_by(mutex_)
+  int bound_ = 0;          // dvlint: guarded_by(mutex_)
+};
+
+/// A guarded local: annotated at its declaration, touched under its mutex.
+inline int sum_under_lock(std::mutex& m) {
+  int shared_total = 0;  // dvlint: guarded_by(m)
+  std::lock_guard<std::mutex> lock(m);
+  shared_total += 1;
+  return shared_total;
+}
+
+}  // namespace dynvote::fixture

@@ -1,0 +1,28 @@
+// Guarded-by violations: a plain unguarded touch and a touch after the
+// flow-aware walker saw the lock released.
+#pragma once
+
+#include <deque>
+#include <mutex>
+
+namespace dynvote::fixture {
+
+class RacyQueue {
+ public:
+  void push(int value) {
+    queue_.push_back(value);  // no lock at all
+  }
+
+  void relock_gap() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    queue_.push_back(1);  // held: fine
+    lock.unlock();
+    queue_.push_back(2);  // released: the race dvlint must catch
+  }
+
+ private:
+  std::mutex mutex_;
+  std::deque<int> queue_;  // dvlint: guarded_by(mutex_)
+};
+
+}  // namespace dynvote::fixture

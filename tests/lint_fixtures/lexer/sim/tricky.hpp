@@ -1,0 +1,24 @@
+// Lexer stress corpus for the determinism check: the raw string literal
+// and the backslash-continued comment below both contain rand()/time()
+// text that must NOT fire, and the raw string spans lines so one real
+// hazard after it proves line accounting survives.
+#pragma once
+
+namespace dynvote::fixture {
+
+inline constexpr const char* kLexerDoc = R"(
+  rand() srand(42) time(nullptr) drand48()
+  hash-order iteration over a std::unordered_map
+)";
+
+// This comment continues onto the next physical line via a backslash: \
+inline int swallowed() { return rand(); }
+
+inline const char* delimited() { return R"tag(time(")tag"; }
+
+inline int tricky_roll(unsigned seed) {
+  if (seed == 0) return rand();  // the one genuine hazard in this file
+  return static_cast<int>(seed * 2654435761u);
+}
+
+}  // namespace dynvote::fixture

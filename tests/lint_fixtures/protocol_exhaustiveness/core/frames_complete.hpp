@@ -1,0 +1,53 @@
+// Clean protocol-exhaustiveness corpus: every switch over the wire enum
+// names every enumerator, and the one default present throws (the
+// decoder's unknown-byte rejection, which stays legal).
+#pragma once
+
+#include <stdexcept>
+
+namespace dynvote::fixture {
+
+enum class PacketKind : unsigned char {  // dvlint: wire_enum
+  kOpen = 1,
+  kData = 2,
+  kClose = 3,
+};
+
+inline const char* packet_name(PacketKind kind) {
+  switch (kind) {
+    case PacketKind::kOpen:
+      return "open";
+    case PacketKind::kData:
+      return "data";
+    case PacketKind::kClose:
+      return "close";
+  }
+  return "?";
+}
+
+inline int packet_cost(PacketKind kind) {
+  switch (kind) {
+    case PacketKind::kOpen:
+      return 3;
+    case PacketKind::kData:
+      return 1;
+    case PacketKind::kClose:
+      return 2;
+    default:
+      throw std::runtime_error("unknown packet kind on the wire");
+  }
+}
+
+/// Switches over non-wire enums are out of scope, defaults and all.
+enum class LocalColor { kRed, kBlue };
+
+inline int color_rank(LocalColor color) {
+  switch (color) {
+    case LocalColor::kRed:
+      return 0;
+    default:
+      return 1;
+  }
+}
+
+}  // namespace dynvote::fixture

@@ -1,0 +1,36 @@
+// Protocol-exhaustiveness violations: a switch that misses an enumerator
+// and a switch whose non-throwing default would swallow new frame types.
+#pragma once
+
+namespace dynvote::fixture {
+
+enum class SignalKind : unsigned char {  // dvlint: wire_enum
+  kPing = 1,
+  kPong = 2,
+  kBye = 3,
+};
+
+inline const char* signal_name(SignalKind kind) {
+  switch (kind) {
+    case SignalKind::kPing:
+      return "ping";
+    case SignalKind::kPong:
+      return "pong";
+  }  // kBye missing: adding a frame type must fail lint, not fall through
+  return "?";
+}
+
+inline int signal_cost(SignalKind kind) {
+  switch (kind) {
+    case SignalKind::kPing:
+      return 1;
+    case SignalKind::kPong:
+      return 1;
+    case SignalKind::kBye:
+      return 0;
+    default:
+      return -1;  // swallows future enumerators instead of throwing
+  }
+}
+
+}  // namespace dynvote::fixture

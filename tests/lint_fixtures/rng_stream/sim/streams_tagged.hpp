@@ -1,0 +1,36 @@
+// Clean rng-stream corpus: tags come from the k*StreamTag registry with
+// unique values, child_seed call sites pass a named tag, and the one raw
+// seed carries its whitelist annotation.
+#pragma once
+
+#include <cstdint>
+
+namespace dynvote::fixture {
+
+inline constexpr std::uint64_t kAlphaStreamTag = 0x101u;
+inline constexpr std::uint64_t kBetaStreamTag = 0x102u;
+
+inline std::uint64_t child_seed(std::uint64_t base, std::uint64_t tag) {
+  return base * 0x9E3779B97F4A7C15ull + tag;
+}
+
+struct Rng {
+  explicit Rng(std::uint64_t seed) : state(seed) {}
+  std::uint64_t state = 0;
+};
+
+inline Rng make_alpha(std::uint64_t base) {
+  return Rng(child_seed(base, kAlphaStreamTag));
+}
+
+inline Rng make_beta(std::uint64_t base) {
+  Rng beta_rng(child_seed(base, kBetaStreamTag));
+  return beta_rng;
+}
+
+inline Rng make_pinned() {
+  Rng pinned_rng(0x5EEDu);  // dvlint: raw-seed(frozen pre-registry baseline)
+  return pinned_rng;
+}
+
+}  // namespace dynvote::fixture

@@ -1,0 +1,32 @@
+// rng-stream violations: a literal tag, a tag missing from the registry, a
+// registry value collision with streams_tagged.hpp, and a raw Rng seed
+// with no whitelist annotation.
+#pragma once
+
+#include <cstdint>
+
+namespace dynvote::fixture {
+
+// Same value as kAlphaStreamTag (0x101u): the two child streams would be
+// identical sequences.
+inline constexpr std::uint64_t kCloneStreamTag = 257u;
+
+struct UntaggedRng {
+  explicit UntaggedRng(std::uint64_t seed) : state(seed) {}
+  std::uint64_t state = 0;
+};
+
+inline std::uint64_t literal_tag(std::uint64_t base) {
+  return child_seed(base, 0x7777u);  // literal: registry cannot vouch for it
+}
+
+inline std::uint64_t ghost_tag(std::uint64_t base) {
+  return child_seed(base, kGhostStreamTag);  // never declared anywhere
+}
+
+inline UntaggedRng make_schedule(std::uint64_t config_seed) {
+  UntaggedRng schedule_rng(config_seed);  // raw seed, no annotation
+  return schedule_rng;
+}
+
+}  // namespace dynvote::fixture

@@ -5,7 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <optional>
+#include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "lint/lint.hpp"
@@ -117,6 +120,94 @@ TEST(LintFixtures, UngatedFormatMigrationCaught) {
   EXPECT_EQ(report.suppressed, 0u);
 }
 
+TEST(LintFixtures, GuardedByPairsCleanAndRacy) {
+  const LintReport report = lint_fixture("guarded_by");
+  EXPECT_EQ(report.files_scanned, 2u);
+  ASSERT_EQ(report.findings.size(), 2u) << render_text(report);
+  // Both hits are in the racy twin; locked_queue.hpp (lock_guard,
+  // unlock/relock flow, defer_lock, requires_lock helper, ctor writes)
+  // must stay silent.
+  for (const Finding& f : report.findings) {
+    EXPECT_EQ(f.check, CheckId::kGuardedBy);
+    EXPECT_EQ(f.file, "fabric/racy_queue.hpp");
+    EXPECT_EQ(f.detail, "queue_");
+    EXPECT_NE(f.message.find("'mutex_'"), std::string::npos);
+  }
+  EXPECT_EQ(report.findings[0].line, 13u);  // no lock at all
+  EXPECT_EQ(report.findings[1].line, 20u);  // touch after .unlock()
+}
+
+TEST(LintFixtures, ProtocolExhaustivenessPairsCompleteAndPartial) {
+  const LintReport report = lint_fixture("protocol_exhaustiveness");
+  EXPECT_EQ(report.files_scanned, 2u);
+  ASSERT_EQ(report.findings.size(), 2u) << render_text(report);
+  const Finding& missing = report.findings[0];
+  EXPECT_EQ(missing.check, CheckId::kProtocolExhaustiveness);
+  EXPECT_EQ(missing.file, "core/frames_partial.hpp");
+  EXPECT_EQ(missing.line, 14u);
+  EXPECT_EQ(missing.detail, "kBye");
+  EXPECT_NE(missing.message.find("'SignalKind'"), std::string::npos);
+  const Finding& swallower = report.findings[1];
+  EXPECT_EQ(swallower.line, 24u);
+  EXPECT_EQ(swallower.detail, "default");
+  EXPECT_NE(swallower.message.find("non-throwing default"),
+            std::string::npos);
+  // frames_complete.hpp exercises the legal shapes: an exhaustive switch,
+  // a throwing default, and a non-wire enum with a swallowing default.
+}
+
+TEST(LintFixtures, RngStreamPairsTaggedAndUntagged) {
+  const LintReport report = lint_fixture("rng_stream");
+  EXPECT_EQ(report.files_scanned, 2u);
+  ASSERT_EQ(report.findings.size(), 4u) << render_text(report);
+  for (const Finding& f : report.findings) {
+    EXPECT_EQ(f.check, CheckId::kRngStream);
+    EXPECT_EQ(f.file, "sim/streams_untagged.hpp");
+  }
+  // Registry collision (same value as kAlphaStreamTag), literal tag,
+  // unknown tag, raw seed -- in line order.
+  EXPECT_EQ(report.findings[0].line, 12u);
+  EXPECT_EQ(report.findings[0].detail, "kCloneStreamTag");
+  EXPECT_NE(report.findings[0].message.find("'kAlphaStreamTag'"),
+            std::string::npos);
+  EXPECT_EQ(report.findings[1].line, 20u);
+  EXPECT_EQ(report.findings[1].detail, "child_seed");
+  EXPECT_EQ(report.findings[2].line, 24u);
+  EXPECT_NE(report.findings[2].message.find("'kGhostStreamTag'"),
+            std::string::npos);
+  EXPECT_EQ(report.findings[3].line, 28u);
+  EXPECT_EQ(report.findings[3].detail, "schedule_rng");
+}
+
+TEST(LintFixtures, BoundedDecodePairsBoundedAndUnbounded) {
+  const LintReport report = lint_fixture("bounded_decode");
+  EXPECT_EQ(report.files_scanned, 2u);
+  ASSERT_EQ(report.findings.size(), 2u) << render_text(report);
+  const Finding& via_count = report.findings[0];
+  EXPECT_EQ(via_count.check, CheckId::kBoundedDecode);
+  EXPECT_EQ(via_count.file, "gcs/unbounded_codec.hpp");
+  EXPECT_EQ(via_count.line, 15u);
+  EXPECT_EQ(via_count.detail, "n");  // reserve from an unbounded count
+  EXPECT_NE(via_count.message.find("remaining"), std::string::npos);
+  const Finding& via_getter = report.findings[1];
+  EXPECT_EQ(via_getter.line, 23u);
+  EXPECT_EQ(via_getter.detail, "get_varint");  // resize(dec.get_varint())
+}
+
+TEST(LintFixtures, LexerHandlesRawStringsAndContinuations) {
+  // The fixture packs rand()/time() text into a multi-line raw string, a
+  // delimited raw string and a backslash-continued comment; only the one
+  // real call may fire, and at its true physical line (proving the lexer
+  // kept line accounting across the multi-line literal).
+  const LintReport report = lint_fixture("lexer");
+  EXPECT_EQ(report.files_scanned, 1u);
+  ASSERT_EQ(report.findings.size(), 1u) << render_text(report);
+  EXPECT_EQ(report.findings[0].check, CheckId::kDeterminism);
+  EXPECT_EQ(report.findings[0].file, "sim/tricky.hpp");
+  EXPECT_EQ(report.findings[0].line, 20u);
+  EXPECT_EQ(report.findings[0].detail, "rand");
+}
+
 TEST(LintFixtures, SuppressionFileSilencesKnownFindings) {
   const std::vector<Suppression> suppressions =
       load_suppressions(fixture_root("suppressed") + "/suppressions.txt");
@@ -144,6 +235,91 @@ TEST(LintFixtures, WildcardSuppressionAppliesToAnyCheck) {
   EXPECT_EQ(report.suppressed, 2u);
 }
 
+std::string suppression_error(const std::string& file) {
+  try {
+    load_suppressions(fixture_root("suppressed_malformed") + "/" + file);
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(LintFixtures, MalformedSuppressionLinesThrowWithLineNumber) {
+  const std::string junk = suppression_error("trailing_junk.txt");
+  EXPECT_NE(junk.find("malformed suppression"), std::string::npos) << junk;
+  EXPECT_NE(junk.find(":3"), std::string::npos) << junk;  // not line 1 or 2
+  EXPECT_NE(junk.find("trailing fields"), std::string::npos) << junk;
+
+  const std::string colon = suppression_error("trailing_colon.txt");
+  EXPECT_NE(colon.find(":1"), std::string::npos) << colon;
+  EXPECT_NE(colon.find("trailing ':'"), std::string::npos) << colon;
+
+  const std::string zero = suppression_error("line_zero.txt");
+  EXPECT_NE(zero.find(":2"), std::string::npos) << zero;
+  EXPECT_NE(zero.find("':0' matches nothing"), std::string::npos) << zero;
+
+  const std::string unknown = suppression_error("unknown_check.txt");
+  EXPECT_NE(unknown.find(":1"), std::string::npos) << unknown;
+  EXPECT_NE(unknown.find("unknown check id 'not-a-check'"),
+            std::string::npos)
+      << unknown;
+}
+
+TEST(LintChecks, CatalogueRoundTripsAndCoversEveryCheck) {
+  ASSERT_EQ(all_checks().size(), 10u);
+  for (const CheckInfo& info : all_checks()) {
+    EXPECT_EQ(to_string(info.id), info.name);
+    const std::optional<CheckId> parsed = check_from_string(info.name);
+    ASSERT_TRUE(parsed.has_value()) << info.name;
+    EXPECT_EQ(*parsed, info.id);
+    EXPECT_FALSE(info.summary.empty()) << info.name;
+  }
+  EXPECT_FALSE(check_from_string("no-such-check").has_value());
+  EXPECT_FALSE(check_from_string("").has_value());
+}
+
+TEST(LintOptionsFilters, CheckFilterKeepsOnlySelectedChecks) {
+  const LintReport full = lint_fixture("rng_stream");
+  ASSERT_EQ(full.findings.size(), 4u);
+
+  LintOptions options;
+  options.root = fixture_root("rng_stream");
+  options.checks = {CheckId::kRngStream};
+  const LintReport same = run_lint(options);
+  EXPECT_EQ(same.findings, full.findings);
+
+  // A filter naming a check with no hits empties the report but still
+  // scans the whole tree.
+  options.checks = {CheckId::kBoundedDecode};
+  const LintReport none = run_lint(options);
+  EXPECT_TRUE(none.findings.empty()) << render_text(none);
+  EXPECT_EQ(none.files_scanned, 2u);
+}
+
+TEST(LintOptionsFilters, OnlyFilesRestrictsReportNotContext) {
+  const LintReport full = lint_fixture("protocol_exhaustiveness");
+  ASSERT_EQ(full.findings.size(), 2u);
+
+  LintOptions options;
+  options.root = fixture_root("protocol_exhaustiveness");
+  options.only_files = std::vector<std::string>{"core/frames_partial.hpp"};
+  const LintReport restricted = run_lint(options);
+  // The restricted report is exactly the full report filtered to the
+  // changed file; frames_partial's findings all survive.
+  EXPECT_EQ(restricted.findings, full.findings);
+  EXPECT_EQ(restricted.files_scanned, 1u);
+
+  options.only_files = std::vector<std::string>{"core/frames_complete.hpp"};
+  const LintReport clean_side = run_lint(options);
+  EXPECT_TRUE(clean_side.findings.empty()) << render_text(clean_side);
+  EXPECT_EQ(clean_side.files_scanned, 1u);
+
+  options.only_files = std::vector<std::string>{"core/not_in_tree.hpp"};
+  const LintReport nothing = run_lint(options);
+  EXPECT_TRUE(nothing.findings.empty());
+  EXPECT_EQ(nothing.files_scanned, 0u);
+}
+
 TEST(LintFixtures, FindingsAreSortedAndUnique) {
   const LintReport report = lint_fixture("determinism");
   EXPECT_TRUE(
@@ -165,6 +341,84 @@ TEST(LintFixtures, JsonReportIsValidAndCarriesFindings) {
       render_json(lint_fixture("clean"), "clean");
   EXPECT_TRUE(json_is_valid(clean_json)) << clean_json;
   EXPECT_NE(clean_json.find("\"clean\":true"), std::string::npos);
+}
+
+TEST(LintSarif, ReportMatchesSarif210Shape) {
+  const LintReport dirty = lint_fixture("rng_stream");
+  ASSERT_FALSE(dirty.findings.empty());
+  const std::string sarif = render_sarif(dirty, "rng_stream");
+  const std::optional<JsonValue> doc = json_parse(sarif);
+  ASSERT_TRUE(doc.has_value()) << sarif;
+
+  // Top-level SARIF 2.1.0 envelope.
+  EXPECT_EQ(doc->string_or("version", ""), "2.1.0");
+  EXPECT_NE(doc->string_or("$schema", "").find("sarif-2.1.0"),
+            std::string_view::npos);
+  const JsonValue* runs = doc->find("runs");
+  ASSERT_TRUE(runs != nullptr && runs->is_array());
+  ASSERT_EQ(runs->items().size(), 1u);
+  const JsonValue& run = runs->items()[0];
+
+  // The driver advertises every check as a reporting rule, in CheckId
+  // order, so ruleIndex below can index straight into it.
+  const JsonValue* tool = run.find("tool");
+  ASSERT_TRUE(tool != nullptr);
+  const JsonValue* driver = tool->find("driver");
+  ASSERT_TRUE(driver != nullptr);
+  EXPECT_EQ(driver->string_or("name", ""), "dvlint");
+  const JsonValue* rules = driver->find("rules");
+  ASSERT_TRUE(rules != nullptr && rules->is_array());
+  ASSERT_EQ(rules->items().size(), all_checks().size());
+  for (std::size_t i = 0; i < rules->items().size(); ++i) {
+    const JsonValue& rule = rules->items()[i];
+    EXPECT_EQ(rule.string_or("id", ""), all_checks()[i].name);
+    const JsonValue* text = rule.find("shortDescription");
+    ASSERT_TRUE(text != nullptr);
+    EXPECT_FALSE(text->string_or("text", "").empty());
+  }
+
+  // One result per finding, with a resolvable ruleId/ruleIndex pair, a
+  // physical location anchored under SRCROOT and a stable fingerprint.
+  const JsonValue* results = run.find("results");
+  ASSERT_TRUE(results != nullptr && results->is_array());
+  ASSERT_EQ(results->items().size(), dirty.findings.size());
+  for (std::size_t i = 0; i < results->items().size(); ++i) {
+    const JsonValue& result = results->items()[i];
+    const Finding& finding = dirty.findings[i];
+    EXPECT_EQ(result.string_or("ruleId", ""), to_string(finding.check));
+    const auto rule_index =
+        static_cast<std::size_t>(result.number_or("ruleIndex", -1.0));
+    ASSERT_LT(rule_index, rules->items().size());
+    EXPECT_EQ(rules->items()[rule_index].string_or("id", ""),
+              to_string(finding.check));
+    EXPECT_EQ(result.string_or("level", ""), "error");
+    const JsonValue* message = result.find("message");
+    ASSERT_TRUE(message != nullptr);
+    EXPECT_EQ(message->string_or("text", ""), finding.message);
+    const JsonValue* locations = result.find("locations");
+    ASSERT_TRUE(locations != nullptr && locations->is_array());
+    ASSERT_EQ(locations->items().size(), 1u);
+    const JsonValue* physical =
+        locations->items()[0].find("physicalLocation");
+    ASSERT_TRUE(physical != nullptr);
+    const JsonValue* artifact = physical->find("artifactLocation");
+    ASSERT_TRUE(artifact != nullptr);
+    EXPECT_EQ(artifact->string_or("uri", ""), finding.file);
+    EXPECT_EQ(artifact->string_or("uriBaseId", ""), "SRCROOT");
+    const JsonValue* region = physical->find("region");
+    ASSERT_TRUE(region != nullptr);
+    EXPECT_GE(region->number_or("startLine", 0.0), 1.0);
+    EXPECT_TRUE(result.find("partialFingerprints") != nullptr);
+  }
+
+  // A clean run still emits a valid document with an empty results array.
+  const std::optional<JsonValue> clean_doc =
+      json_parse(render_sarif(lint_fixture("clean"), "clean"));
+  ASSERT_TRUE(clean_doc.has_value());
+  const JsonValue* clean_results =
+      clean_doc->find("runs")->items()[0].find("results");
+  ASSERT_TRUE(clean_results != nullptr && clean_results->is_array());
+  EXPECT_TRUE(clean_results->items().empty());
 }
 
 TEST(LintFixtures, RenderTextSummarizesCounts) {
