@@ -17,6 +17,7 @@
 
 #include "core/payload.hpp"
 #include "core/quorum.hpp"
+#include "obs/trace.hpp"
 #include "runner/artifact.hpp"
 #include "util/json.hpp"
 #include "sim/driver.hpp"
@@ -133,6 +134,27 @@ void BM_FullRunNoInvariantChecks(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullRunNoInvariantChecks)->Unit(benchmark::kMillisecond);
+
+void BM_TraceEvent(benchmark::State& state) {
+  // Cost of recording one armed trace instant: a steady_clock read plus a
+  // thread-local ring write.  Compare against the disabled path, which is
+  // a single relaxed load and branch (effectively free).
+  const bool enabled = state.range(0) != 0;
+  if (enabled) obs::trace_enable(1 << 12);
+  const std::uint32_t name = obs::intern_trace_name("bench.trace_event");
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    obs::trace_emit(obs::EventKind::kInstant, name, i++, 0);
+  }
+  if (enabled) {
+    obs::trace_disable();
+    benchmark::DoNotOptimize(obs::trace_drain().events.size());
+  }
+}
+BENCHMARK(BM_TraceEvent)
+    ->Arg(0)  // disarmed: the always-on cost at every emission site
+    ->Arg(1)  // armed: the DV_TRACE=1 cost
+    ->Unit(benchmark::kNanosecond);
 
 /// Collects every iteration-level run while still printing the normal
 /// console table, so one pass feeds both the terminal and the manifest.

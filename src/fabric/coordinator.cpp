@@ -13,8 +13,10 @@
 
 #include "fabric/socket.hpp"
 #include "fabric/wire.hpp"
+#include "obs/metrics.hpp"
 #include "runner/artifact.hpp"
 #include "runner/progress.hpp"
+#include "runner/sweep.hpp"
 #include "util/env.hpp"
 
 namespace dynvote::fabric {
@@ -101,6 +103,11 @@ struct Connection {
   std::uint64_t units_done = 0;     // dvlint: guarded_by(mutex)
   double busy_results = 0.0;        // dvlint: guarded_by(mutex)
   double busy_reported = 0.0;       // dvlint: guarded_by(mutex)
+  /// Latest cumulative metrics snapshot from this worker's heartbeats
+  /// (envelope v4+; stays empty for older peers).
+  obs::MetricsSnapshot metrics;     // dvlint: guarded_by(mutex)
+  /// When the previous heartbeat arrived; zero time_point = none yet.
+  Clock::time_point last_heartbeat{};  // dvlint: guarded_by(mutex)
   bool registered = false;          // dvlint: guarded_by(mutex)
   bool dead = false;                // dvlint: guarded_by(mutex)
 };
@@ -235,6 +242,7 @@ struct Coordinator::Impl {
     }
     cp.last_holder = holder;
     ++telemetry.units_issued;
+    DV_OBS_INC("fabric.units_issued");
   }
 
   /// Accept one unit's result.  First result wins; a late duplicate --
@@ -251,6 +259,7 @@ struct Coordinator::Impl {
       Unit& unit = units[unit_id];
       if (unit.state == Unit::State::kDone) {
         ++telemetry.duplicate_results;
+        DV_OBS_INC("fabric.duplicate_results");
         return;
       }
       unit.state = Unit::State::kDone;
@@ -419,6 +428,7 @@ struct Coordinator::Impl {
             unit.holder = kNoHolder;
             pending.push_back(id);
             ++telemetry.units_reissued;
+            DV_OBS_INC("fabric.units_reissued");
             requeued = true;
           }
         }
@@ -445,6 +455,7 @@ struct Coordinator::Impl {
         unit.holder = kNoHolder;
         pending.push_back(id);
         ++telemetry.units_reissued;
+        DV_OBS_INC("fabric.units_reissued");
         requeued = true;
       }
       if (requeued) local_work.notify_all();
@@ -558,8 +569,20 @@ struct Coordinator::Impl {
           grant(conn, 1);
         } else if (const HeartbeatFrame* hb =
                        std::get_if<HeartbeatFrame>(&incoming)) {
+          const auto now = Clock::now();
           std::lock_guard<std::mutex> lock(mutex);
           conn->busy_reported = hb->busy_seconds;
+          if (!hb->metrics.empty()) conn->metrics = hb->metrics;
+          // Inter-heartbeat gap: the live proxy for worker link latency
+          // and scheduler stalls (cadence is the contracted heartbeat_ms).
+          if (conn->last_heartbeat != Clock::time_point{}) {
+            const double gap_ms =
+                std::chrono::duration<double, std::milli>(
+                    now - conn->last_heartbeat)
+                    .count();
+            DV_OBS_RECORD("fabric.heartbeat_gap_ms", gap_ms);
+          }
+          conn->last_heartbeat = now;
         } else if (const StealFrame* steal =
                        std::get_if<StealFrame>(&incoming)) {
           {
@@ -672,6 +695,8 @@ struct Coordinator::Impl {
 
   SweepResult run() {
     const auto sweep_start = Clock::now();
+    maybe_enable_trace_from_env();
+    const obs::MetricsSnapshot metrics_base = obs::snapshot_metrics();
     result.jobs = std::max<std::size_t>(1, local_jobs);
     result.cases.resize(spec.cases.size());
 
@@ -742,7 +767,17 @@ struct Coordinator::Impl {
         telemetry.workers.insert(telemetry.workers.begin(), std::move(local));
       }
       result.fabric = telemetry;
+
+      // The manifest's observability block: this process's delta for the
+      // sweep, plus the latest cumulative snapshot each worker shipped in
+      // its heartbeats (v4+ peers; empty and harmless for older ones).
+      result.metrics = obs::snapshot_metrics().delta_since(metrics_base);
+      for (const auto& conn : connections) {
+        result.metrics.merge(conn->metrics);
+      }
     }
+    // All local executors are joined, so the trace rings are quiescent.
+    result.trace_path = drain_trace_to_artifact(spec.name);
 
     progress_sink().sweep_done(
         spec.name.empty() ? "(unnamed sweep)" : spec.name,

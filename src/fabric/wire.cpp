@@ -170,6 +170,9 @@ void HeartbeatFrame::encode_body(Encoder& enc, std::uint64_t version) const {
   if (version >= 2) {
     put_double(enc, busy_seconds);
   }
+  if (version >= 4) {
+    metrics.encode_body(enc);
+  }
 }
 
 void HeartbeatFrame::decode_body(Decoder& dec, std::uint64_t version) {
@@ -178,6 +181,11 @@ void HeartbeatFrame::decode_body(Decoder& dec, std::uint64_t version) {
     busy_seconds = get_double(dec);
   } else {
     busy_seconds = 0.0;
+  }
+  if (version >= 4) {
+    metrics = obs::MetricsSnapshot::decode_body(dec);
+  } else {
+    metrics = obs::MetricsSnapshot{};
   }
 }
 

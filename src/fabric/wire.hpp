@@ -36,6 +36,7 @@
 #include <variant>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/experiment.hpp"
 #include "util/codec.hpp"
 
@@ -48,11 +49,14 @@ inline constexpr std::string_view kFabricSchema = "dynvote.fabric.v1";
 /// Envelope version stamped on every frame.  v1 was the initial protocol;
 /// v2 added HeartbeatFrame::busy_seconds (worker-utilization telemetry);
 /// v3 added the fault-model block to CaseDescriptor (kind + parameters +
-/// trace document).  Decoders gate every post-v1 field on the envelope
-/// version, so a v3 coordinator still understands a v1 worker's frames and
-/// vice versa -- but encoding a non-geometric case at pre-v3 throws rather
-/// than letting an old peer silently run the wrong model.
-inline constexpr std::uint64_t kFrameVersion = 3;
+/// trace document); v4 added HeartbeatFrame::metrics (the worker's
+/// cumulative src/obs metrics snapshot, so the coordinator aggregates
+/// live worker metrics into the manifest's observability block).
+/// Decoders gate every post-v1 field on the envelope version, so a v4
+/// coordinator still understands a v1 worker's frames and vice versa --
+/// but encoding a non-geometric case at pre-v3 throws rather than letting
+/// an old peer silently run the wrong model.
+inline constexpr std::uint64_t kFrameVersion = 4;
 
 /// Hard cap on one frame's payload, enforced on both the socket read of
 /// the length prefix and the codec's per-item decode cap.  Far above any
@@ -133,6 +137,11 @@ struct HeartbeatFrame {
   /// Cumulative simulate time this connection, for utilization telemetry.
   /// Added in envelope v2; gated on the version in both directions.
   double busy_seconds = 0.0;
+  /// Cumulative src/obs metrics snapshot of the worker process, so the
+  /// coordinator can aggregate live worker metrics.  Added in envelope
+  /// v4; gated on the version in both directions (pre-v4 peers simply
+  /// ship/see an empty snapshot).  Telemetry only, never results.
+  obs::MetricsSnapshot metrics;
 
   void encode_body(Encoder& enc, std::uint64_t version) const;
   void decode_body(Decoder& dec, std::uint64_t version);

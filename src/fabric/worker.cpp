@@ -10,6 +10,7 @@
 
 #include "fabric/socket.hpp"
 #include "fabric/wire.hpp"
+#include "obs/metrics.hpp"
 #include "runner/artifact.hpp"
 #include "runner/sweep.hpp"
 
@@ -121,6 +122,10 @@ void heartbeat_loop(WorkerSession& session, std::uint64_t heartbeat_ms) {
       beat.inflight = session.inflight_locked();
       beat.busy_seconds = session.busy_seconds;
     }
+    // Cumulative process-wide metrics; the coordinator keeps the latest
+    // snapshot per connection (v4+ peers only -- encode_frame drops the
+    // field for older envelopes).  Taken outside the session lock.
+    beat.metrics = obs::snapshot_metrics();
     send_or_lose(session, Frame{beat});
   }
 }

@@ -31,8 +31,8 @@ constexpr CheckInfo kChecks[] = {
      "no unseeded randomness, wall-clock reads, pointer-keyed ordering or "
      "hash-order iteration in result-affecting paths"},
     {CheckId::kLayering, "layering",
-     "includes must respect the layer DAG: util < core < gcs < sim < "
-     "runner < fabric < lint"},
+     "includes must respect the layer DAG: util < obs < core < gcs < sim "
+     "< runner < fabric < lint"},
     {CheckId::kDecodeThrow, "decode-throw",
      "decode paths throw DecodeError on malformed input instead of "
      "asserting"},
@@ -55,6 +55,9 @@ constexpr CheckInfo kChecks[] = {
     {CheckId::kBoundedDecode, "bounded-decode",
      "decode-side reserve()/resize() from a decoded count is bounded by "
      "the decoder's remaining bytes first"},
+    {CheckId::kTracePurity, "trace-purity",
+     "DV_OBS_* / DV_TRACE_* emission arguments in result-affecting paths "
+     "must be pure reads: no RNG draws, no assignments or mutator calls"},
 };
 
 }  // namespace
@@ -89,12 +92,13 @@ constexpr std::array<std::string_view, 4> kLoadSideMethods = {
 /// reverse.  Unknown directories have no rank and are exempt.
 int layer_rank(std::string_view dir) {
   if (dir == "util") return 0;
-  if (dir == "core") return 1;
-  if (dir == "gcs") return 2;
-  if (dir == "sim") return 3;
-  if (dir == "runner") return 4;
-  if (dir == "fabric") return 5;
-  if (dir == "lint") return 6;
+  if (dir == "obs") return 1;
+  if (dir == "core") return 2;
+  if (dir == "gcs") return 3;
+  if (dir == "sim") return 4;
+  if (dir == "runner") return 5;
+  if (dir == "fabric") return 6;
+  if (dir == "lint") return 7;
   return -1;
 }
 
@@ -592,8 +596,8 @@ void check_layering(const std::vector<ParsedFile>& files,
       f.message = "include of \"" + inc.path + "\" climbs the layer DAG (" +
                   std::string(top_dir(src.rel_path)) + " may not depend on " +
                   std::string(inc_dir) +
-                  "; order is util < core < gcs < sim < runner < fabric "
-                  "< lint)";
+                  "; order is util < obs < core < gcs < sim < runner "
+                  "< fabric < lint)";
       findings.push_back(std::move(f));
     }
   }
@@ -1094,6 +1098,125 @@ void check_bounded_decode(const std::vector<ParsedFile>& files,
 }
 
 // ---------------------------------------------------------------------------
+// Check 11: trace-purity
+//
+// The fingerprint-parity guarantee (DV_TRACE=1 and DV_TRACE=0 produce
+// byte-identical results documents) holds only if observation never feeds
+// back into simulation.  An emission macro's arguments are evaluated on
+// the hot path whether or not that discipline was intended, so any RNG
+// draw or mutation inside them changes results -- conditionally, when the
+// macro's own guard short-circuits, which is worse.  This check scans the
+// argument span of every DV_OBS_* / DV_TRACE_* site in result-affecting
+// directories for randomness identifiers, assignment and increment
+// operators, and the container/handle mutators a pure read never needs.
+
+constexpr std::array<std::string_view, 6> kEmissionMacros = {
+    "DV_OBS_INC",     "DV_OBS_ADD",    "DV_OBS_SET",
+    "DV_OBS_RECORD",  "DV_TRACE_SPAN", "DV_TRACE_INSTANT"};
+
+constexpr std::array<std::string_view, 8> kTraceRngTokens = {
+    "rng",  "rng_",          "child_seed", "rand",
+    "srand", "drand48",      "random_device", "mt19937"};
+
+constexpr std::array<std::string_view, 12> kTraceMutatorCalls = {
+    "push_back", "pop_back", "emplace", "emplace_back", "insert", "erase",
+    "clear",     "resize",   "reset",   "assign",       "swap",   "pop_front"};
+
+void check_trace_purity(const std::vector<ParsedFile>& files,
+                        std::vector<Finding>& findings) {
+  for (const ParsedFile& pf : files) {
+    if (!result_affecting(top_dir(pf.source->rel_path))) continue;
+    const SourceFile& src = *pf.source;
+    const std::vector<Token> tokens = tokenize(src.code);
+
+    auto flag = [&](std::size_t offset, std::string_view macro,
+                    std::string detail, const std::string& why) {
+      const std::size_t line = src.line_of(offset);
+      if (ignored(src, line, CheckId::kTracePurity)) return;
+      Finding f;
+      f.check = CheckId::kTracePurity;
+      f.file = src.rel_path;
+      f.line = line;
+      f.detail = std::move(detail);
+      f.message = std::string(macro) + " argument " + why +
+                  "; emission sites must be pure reads or results change "
+                  "when tracing toggles (opt-out: // dvlint: "
+                  "ignore(trace-purity))";
+      findings.push_back(std::move(f));
+    };
+
+    for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+      if (std::find(kEmissionMacros.begin(), kEmissionMacros.end(),
+                    tokens[i].text) == kEmissionMacros.end()) {
+        continue;
+      }
+      if (tokens[i + 1].text != "(") continue;
+      const std::string_view macro = tokens[i].text;
+
+      // Token span of the argument list, outer parens excluded.
+      std::size_t depth = 0;
+      std::size_t close = tokens.size();
+      for (std::size_t j = i + 1; j < tokens.size(); ++j) {
+        if (tokens[j].text == "(") ++depth;
+        if (tokens[j].text == ")" && --depth == 0) {
+          close = j;
+          break;
+        }
+      }
+      if (close == tokens.size()) continue;  // unbalanced; fail safe
+
+      for (std::size_t j = i + 2; j < close; ++j) {
+        const std::string_view t = tokens[j].text;
+        const std::string_view prev = tokens[j - 1].text;
+        const std::string_view next =
+            j + 1 < close ? tokens[j + 1].text : std::string_view{};
+
+        if (std::find(kTraceRngTokens.begin(), kTraceRngTokens.end(), t) !=
+            kTraceRngTokens.end()) {
+          flag(tokens[j].offset, macro, std::string(t),
+               "draws randomness ('" + std::string(t) +
+                   "'): the RNG stream diverges from an untraced run");
+          continue;
+        }
+        if ((t == "+" && next == "+") || (t == "-" && next == "-")) {
+          // ++/-- split into adjacent single-char tokens; require true
+          // adjacency so `a + +b` stays legal.
+          if (tokens[j + 1].offset == tokens[j].offset + 1) {
+            flag(tokens[j].offset, macro, std::string(t) + std::string(t),
+                 "mutates state ('" + std::string(t) + std::string(t) +
+                     "')");
+            ++j;
+          }
+          continue;
+        }
+        if (t == "=") {
+          // Plain or compound assignment, but not ==, !=, <=, >=, or the
+          // right half of those (the tokenizer splits them).
+          const bool comparison =
+              next == "=" || prev == "=" || prev == "!" || prev == "<" ||
+              prev == ">";
+          const bool compound = prev == "+" || prev == "-" || prev == "*" ||
+                                prev == "/" || prev == "%" || prev == "&" ||
+                                prev == "|" || prev == "^";
+          if (comparison && !compound) continue;
+          flag(tokens[j].offset, macro,
+               compound ? std::string(prev) + "=" : "=",
+               "mutates state (assignment)");
+          continue;
+        }
+        if (next == "(" &&
+            std::find(kTraceMutatorCalls.begin(), kTraceMutatorCalls.end(),
+                      t) != kTraceMutatorCalls.end()) {
+          flag(tokens[j].offset, macro, std::string(t),
+               "calls mutator '" + std::string(t) + "()'");
+          continue;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 
 bool suppressed_by(const Finding& f, const Suppression& s) {
   if (s.check != "*" && s.check != to_string(f.check)) return false;
@@ -1193,6 +1316,7 @@ LintReport run_lint(const LintOptions& options) {
   check_protocol_exhaustiveness(parsed, findings);
   check_rng_stream(parsed, findings);
   check_bounded_decode(parsed, findings);
+  check_trace_purity(parsed, findings);
 
   // Scope filters run before suppression accounting so `suppressed` counts
   // only in-scope findings.

@@ -23,10 +23,13 @@
 //                          runner, fabric).  Opt-out: `// dvlint:
 //                          unordered-ok` for provably order-insensitive
 //                          folds.
-//   layering               an include that climbs the DAG (util < core <
-//                          gcs < sim < runner < fabric < lint); e.g. core
-//                          including sim, sim including runner, or
-//                          anything in src including bench.
+//   layering               an include that climbs the DAG (util < obs <
+//                          core < gcs < sim < runner < fabric < lint);
+//                          e.g. core including sim, sim including runner,
+//                          obs including core, or anything in src
+//                          including bench.  The observability layer sits
+//                          just above util so core/gcs/sim may emit
+//                          metrics and trace events, never the reverse.
 //   decode-throw           a load-side body (load, load_extra, decode,
 //                          decode_body) uses DV_ASSERT/DV_REQUIRE instead
 //                          of throwing DecodeError: malformed snapshot
@@ -74,6 +77,15 @@
 //                          decoded count without first bounding it by the
 //                          decoder's remaining bytes; a hostile length
 //                          prefix must fail fast, not allocate.
+//   trace-purity           an argument of a DV_OBS_* / DV_TRACE_* emission
+//                          macro in a result-affecting directory draws
+//                          randomness (rng, child_seed, ...) or mutates
+//                          state (assignment, ++/--, push_back/erase/...).
+//                          Observation must be a pure read: an emission
+//                          site that perturbs the RNG stream or the world
+//                          changes results when tracing toggles, breaking
+//                          the fingerprint-parity guarantee.  Opt-out:
+//                          `// dvlint: ignore(trace-purity)`.
 //
 // Any finding can also be silenced with `// dvlint: ignore(<check-id>)` on
 // (or immediately above) the offending line, or via a suppression file of
@@ -99,6 +111,7 @@ enum class CheckId {
   kProtocolExhaustiveness,
   kRngStream,
   kBoundedDecode,
+  kTracePurity,
 };
 
 /// Stable kebab-case name used in output, annotations and suppressions.

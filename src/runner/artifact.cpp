@@ -180,6 +180,41 @@ std::string manifest_json(const SweepSpec& spec, const SweepResult& result) {
     case_json(json, outcome, /*include_volatile=*/true);
   }
   json.end_array();
+  // Observability metrics (src/obs): counters, gauges and histograms
+  // recorded during this sweep, aggregated across local threads and --
+  // for distributed sweeps -- remote workers' heartbeat snapshots.  Like
+  // the fabric block, strictly volatile telemetry: never part of the
+  // results document, so tracing/metrics can never move a fingerprint.
+  if (!result.metrics.empty()) {
+    const obs::MetricsSnapshot& m = result.metrics;
+    json.key("observability").begin_object();
+    json.key("counters").begin_object();
+    for (const auto& [name, value] : m.counters) json.key(name).value(value);
+    json.end_object();
+    json.key("gauges").begin_object();
+    for (const auto& [name, value] : m.gauges) json.key(name).value(value);
+    json.end_object();
+    json.key("histograms").begin_array();
+    for (const obs::HistogramSnapshot& h : m.histograms) {
+      json.begin_object();
+      json.key("name").value(h.name);
+      json.key("count").value(h.count());
+      json.key("sum").value(h.sum);
+      // Sparse bucket list: [bucket index (std::bit_width), count].
+      json.key("buckets").begin_array();
+      for (std::size_t b = 0; b < obs::kHistogramBuckets; ++b) {
+        if (h.buckets[b] == 0) continue;
+        json.begin_array();
+        json.value(static_cast<std::uint64_t>(b));
+        json.value(h.buckets[b]);
+        json.end_array();
+      }
+      json.end_array();
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
   // Fabric scheduling telemetry (multi-host sweeps only).  Volatile by
   // design: which worker ran which unit, re-issues after deaths, and
   // steal traffic can never affect the merged results, and keeping the
@@ -232,6 +267,29 @@ std::string write_artifact_document(const std::string& filename,
   out << document << '\n';
   if (!out.good()) {
     DV_LOG_WARN("short write on artifact " << path);
+    return "";
+  }
+  return path;
+}
+
+std::string write_artifact_bytes(const std::string& filename,
+                                 const std::vector<std::byte>& bytes) {
+  std::string dir = env_string("DV_ARTIFACT_DIR").value_or("artifacts");
+  if (dir == "none" || dir == "off" || dir == "0") return "";
+
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    DV_LOG_WARN("cannot create artifact dir " << dir << ": " << ec.message());
+    return "";
+  }
+
+  const std::string path = dir + "/" + filename;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out ||
+      !out.write(reinterpret_cast<const char*>(bytes.data()),
+                 static_cast<std::streamsize>(bytes.size()))) {
+    DV_LOG_WARN("cannot write artifact " << path);
     return "";
   }
   return path;

@@ -33,6 +33,15 @@
 //                                counting allocator is linked (see
 //                                util/alloc_stats.hpp)
 //                  "shards": .., "steals": .. }, ... ],
+//     "observability": { "counters": {name: value, ...},
+//                        "gauges": {name: value, ...},
+//                        "histograms": [ { "name": "...", "count": ..,
+//                                          "sum": ..,
+//                                          "buckets": [[pow2_index, n],..]
+//                                        }, ... ] }
+//                          <- src/obs metrics recorded during the sweep
+//                             (local threads + aggregated fabric workers);
+//                             volatile telemetry, never fingerprinted
 //     "fabric": { "units_issued": .., "units_reissued": ..,
 //                 "units_stolen": .., "duplicate_results": ..,
 //                 "workers_connected": .., "workers_died": ..,
@@ -59,7 +68,9 @@
 // cannot move the fingerprint of unchanged simulation results.
 #pragma once
 
+#include <cstddef>
 #include <string>
+#include <vector>
 
 #include "runner/sweep.hpp"
 
@@ -103,6 +114,12 @@ std::string write_manifest(const SweepSpec& spec, const SweepResult& result);
 /// the one environment knob.
 std::string write_artifact_document(const std::string& filename,
                                     const std::string& document);
+
+/// Binary sibling of `write_artifact_document` (no trailing newline):
+/// writes `bytes` to `<artifact dir>/<filename>` under the same
+/// DV_ARTIFACT_DIR discipline.  Used for dynvote.events.v1 trace files.
+std::string write_artifact_bytes(const std::string& filename,
+                                 const std::vector<std::byte>& bytes);
 
 /// The `git describe` string baked into this build ("unknown" when the
 /// build was configured outside a git checkout).

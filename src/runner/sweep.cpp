@@ -4,17 +4,21 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <fstream>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <thread>
 
 #include "gcs/gcs.hpp"
+#include "obs/trace.hpp"
 #include "runner/artifact.hpp"
 #include "runner/thread_pool.hpp"
 #include "sim/table.hpp"
 #include "util/alloc_stats.hpp"
 #include "util/assert.hpp"
 #include "util/env.hpp"
+#include "util/logging.hpp"
 
 namespace dynvote {
 
@@ -85,6 +89,38 @@ double probe_steady_allocs_per_round(const CaseSpec& cs) {
 }
 
 }  // namespace
+
+/// Arm the trace recorder when DV_TRACE asks for it.  Idempotent: tracing
+/// armed earlier (by dvdispatch --trace-out or a test) stays armed with
+/// its ring sizing.
+void maybe_enable_trace_from_env() {
+  if (!env_bool("DV_TRACE", false)) return;
+  if (obs::trace_enabled()) return;
+  obs::trace_enable(
+      static_cast<std::size_t>(env_u64("DV_TRACE_BUF", std::uint64_t{1} << 16)));
+}
+
+/// Drain this sweep's trace rings and write the dynvote.events.v1 file:
+/// to DV_TRACE_OUT verbatim when set, otherwise as TRACE_<name>.events
+/// through the artifact directory discipline.  Returns the path written,
+/// empty when tracing is off or writing failed/was disabled.
+std::string drain_trace_to_artifact(const std::string& sweep_name) {
+  if (!obs::trace_enabled()) return {};
+  const obs::TraceFile file = obs::trace_drain();
+  const std::vector<std::byte> bytes = file.encode();
+  if (const auto out = env_string("DV_TRACE_OUT"); out.has_value()) {
+    std::ofstream f(*out, std::ios::binary | std::ios::trunc);
+    if (!f ||
+        !f.write(reinterpret_cast<const char*>(bytes.data()),
+                 static_cast<std::streamsize>(bytes.size()))) {
+      DV_LOG_WARN("failed to write trace file " << *out);
+      return {};
+    }
+    return *out;
+  }
+  const std::string stem = sweep_name.empty() ? "sweep" : sweep_name;
+  return write_artifact_bytes("TRACE_" + stem + ".events", bytes);
+}
 
 std::size_t jobs_from_env() {
   const unsigned hardware = std::thread::hardware_concurrency();
@@ -204,6 +240,10 @@ struct CaseState {
 
 SweepResult run_sweep(const SweepSpec& spec) {
   const auto sweep_start = Clock::now();
+  maybe_enable_trace_from_env();
+  // Metrics are process-cumulative; the delta scopes the manifest's
+  // observability block to this sweep.
+  const obs::MetricsSnapshot metrics_base = obs::snapshot_metrics();
   const std::size_t jobs = spec.jobs != 0 ? spec.jobs : jobs_from_env();
   ProgressSink& progress =
       spec.progress != nullptr ? *spec.progress : default_progress_sink();
@@ -271,14 +311,27 @@ SweepResult run_sweep(const SweepSpec& spec) {
     for (std::size_t i = 0; i < case_count; ++i) {
       CaseState state;
       const auto start = Clock::now();
-      state.partials.push_back(
-          ShardPartial{0, run_case(spec.cases[i].spec)});
+      {
+        // The shard span carries the case label so dvtrace can group the
+        // run events underneath it; the label is only materialized when
+        // tracing is armed.
+        std::optional<obs::TraceSpan> span;
+        if (obs::trace_enabled()) {
+          span.emplace(case_label(spec.cases[i]), 0, spec.cases[i].spec.runs);
+        }
+        state.partials.push_back(
+            ShardPartial{0, run_case(spec.cases[i].spec)});
+      }
       state.compute_seconds = seconds_since(start);
+      DV_OBS_INC("runner.units");
+      DV_OBS_RECORD("runner.shard_ms", state.compute_seconds * 1000.0);
       finish_case(i, state);
     }
     result.wall_seconds = seconds_since(sweep_start);
     progress.sweep_done(spec.name.empty() ? "(unnamed sweep)" : spec.name,
                         case_count, result.wall_seconds);
+    result.metrics = obs::snapshot_metrics().delta_since(metrics_base);
+    result.trace_path = drain_trace_to_artifact(spec.name);
     if (!spec.name.empty()) {
       result.artifact_path = write_manifest(spec, result);
     }
@@ -347,6 +400,7 @@ SweepResult run_sweep(const SweepSpec& spec) {
         CaseState& state = states[out.case_index];
         if (state.last_worker != SIZE_MAX && state.last_worker != worker) {
           ++state.steals;
+          DV_OBS_INC("runner.steals");
         }
         state.last_worker = worker;
         return true;
@@ -367,6 +421,7 @@ SweepResult run_sweep(const SweepSpec& spec) {
         state.next_fresh_run += chunk;
         if (state.last_worker != SIZE_MAX && state.last_worker != worker) {
           ++state.steals;
+          DV_OBS_INC("runner.steals");
         }
         state.last_worker = worker;
         return true;
@@ -388,8 +443,11 @@ SweepResult run_sweep(const SweepSpec& spec) {
       const auto start = Clock::now();
 
       if (unit.kind == WorkUnit::Kind::kScout) {
-        std::vector<CascadeCheckpoint> checkpoints =
-            scout_cascading_case(cs, states[i].boundaries);
+        std::vector<CascadeCheckpoint> checkpoints;
+        {
+          DV_TRACE_SPAN("scout", i, cs.runs);
+          checkpoints = scout_cascading_case(cs, states[i].boundaries);
+        }
         const double seconds = seconds_since(start);
         lock.lock();
         CaseState& state = states[i];
@@ -411,19 +469,31 @@ SweepResult run_sweep(const SweepSpec& spec) {
       }
 
       CaseResult partial;
-      if (unit.kind == WorkUnit::Kind::kCascadeShard) {
-        static const CascadeCheckpoint kFromScratch{};
-        const CascadeCheckpoint& from =
-            unit.checkpoint_index == SIZE_MAX
-                ? kFromScratch
-                : states[i].checkpoints[unit.checkpoint_index];
-        partial = run_cascading_shard(cs, from, unit.run_count);
-      } else if (cs.mode == RunMode::kFreshStart) {
-        partial = run_case_shard(cs, unit.first_run, unit.run_count);
-      } else {
-        partial = run_case(cs);
+      {
+        // Case-labeled shard span (materialized only when tracing is
+        // armed); the run spans emitted by the experiment layer nest
+        // underneath it on this thread's timeline.
+        std::optional<obs::TraceSpan> span;
+        if (obs::trace_enabled()) {
+          span.emplace(case_label(spec.cases[i]), unit.first_run,
+                       unit.run_count);
+        }
+        if (unit.kind == WorkUnit::Kind::kCascadeShard) {
+          static const CascadeCheckpoint kFromScratch{};
+          const CascadeCheckpoint& from =
+              unit.checkpoint_index == SIZE_MAX
+                  ? kFromScratch
+                  : states[i].checkpoints[unit.checkpoint_index];
+          partial = run_cascading_shard(cs, from, unit.run_count);
+        } else if (cs.mode == RunMode::kFreshStart) {
+          partial = run_case_shard(cs, unit.first_run, unit.run_count);
+        } else {
+          partial = run_case(cs);
+        }
       }
       const double seconds = seconds_since(start);
+      DV_OBS_INC("runner.units");
+      DV_OBS_RECORD("runner.shard_ms", seconds * 1000.0);
 
       lock.lock();
       CaseState& state = states[i];
@@ -462,6 +532,10 @@ SweepResult run_sweep(const SweepSpec& spec) {
   progress.sweep_done(spec.name.empty() ? "(unnamed sweep)" : spec.name,
                       case_count, result.wall_seconds);
 
+  // The pool is joined: worker shards are retired and their rings are
+  // quiescent, so both folds below are race-free and complete.
+  result.metrics = obs::snapshot_metrics().delta_since(metrics_base);
+  result.trace_path = drain_trace_to_artifact(spec.name);
   if (!spec.name.empty()) {
     result.artifact_path = write_manifest(spec, result);
   }

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "runner/progress.hpp"
 #include "sim/experiment.hpp"
 
@@ -123,15 +124,34 @@ struct SweepResult {
   std::size_t jobs = 1;
   /// Manifest path actually written; empty when artifacts were disabled.
   std::string artifact_path;
+  /// Events file written when tracing was armed (DV_TRACE / --trace-out);
+  /// empty otherwise.
+  std::string trace_path;
   /// Populated by fabric coordinators (fabric/coordinator.hpp); default
   /// (used == false) for in-process sweeps.
   FabricTelemetry fabric;
+  /// This sweep's metrics delta (src/obs), rendered into the manifest's
+  /// volatile `observability` block.  Fabric coordinators fold aggregated
+  /// worker snapshots in as well.  Never part of the results fingerprint.
+  obs::MetricsSnapshot metrics;
 };
 
 /// Execute the sweep across the worker pool and (when `spec.name` is set)
 /// record its manifest.  Results are deterministic: independent of DV_JOBS,
 /// shard sizing, and worker scheduling.
 SweepResult run_sweep(const SweepSpec& spec);
+
+/// Arm the trace recorder when DV_TRACE asks for it (ring sizing from
+/// DV_TRACE_BUF).  Idempotent; called by run_sweep and the fabric
+/// coordinator so both paths honor the same knobs.
+void maybe_enable_trace_from_env();
+
+/// Drain the trace rings and write this sweep's dynvote.events.v1 file:
+/// to DV_TRACE_OUT verbatim when set, else TRACE_<sweep_name>.events under
+/// the artifact-directory discipline.  Returns the path written; empty
+/// when tracing is off or the write was disabled/failed.  Caller must have
+/// quiesced emitting threads (see obs/trace.hpp).
+std::string drain_trace_to_artifact(const std::string& sweep_name);
 
 /// DV_JOBS, else hardware concurrency, never zero.
 std::size_t jobs_from_env();

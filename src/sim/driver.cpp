@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/codec.hpp"
 #include "util/logging.hpp"
@@ -41,7 +43,31 @@ void Simulation::step_round() {
 void Simulation::apply_next_fault() {
   model_->apply_next(gcs_);
   ++total_changes_;
+  DV_OBS_INC("sim.changes_applied");
   if (config_.check_invariants) checker_.check(gcs_);
+}
+
+void Simulation::count_round(RunResult& result) {
+  step_round();
+  ++result.rounds_executed;
+  const bool primary = gcs_.has_primary();
+  if (primary) ++result.rounds_with_primary;
+  DV_OBS_INC("sim.rounds");
+  // Edge-detect availability regained: the instant marks the round index
+  // within the run and the change count so far.
+  if (primary && !had_primary_) {
+    DV_TRACE_INSTANT("primary_formed", result.rounds_executed, total_changes_);
+  }
+  had_primary_ = primary;
+}
+
+void Simulation::note_ambiguity_sample(std::size_t ambiguous_count) {
+  if (ambiguous_count < last_ambiguous_) {
+    DV_OBS_ADD("sim.sessions_resolved", last_ambiguous_ - ambiguous_count);
+    DV_TRACE_INSTANT("session_resolved", last_ambiguous_ - ambiguous_count,
+                     ambiguous_count);
+  }
+  last_ambiguous_ = ambiguous_count;
 }
 
 bool Simulation::step_event() {
@@ -62,13 +88,13 @@ bool Simulation::step_event() {
     }
     if (progress_.gap_remaining > 0) {
       --progress_.gap_remaining;
-      step_round();
-      ++result.rounds_executed;
-      if (gcs_.has_primary()) ++result.rounds_with_primary;
+      count_round(result);
       return false;
     }
-    result.observer_ambiguous_at_changes.push_back(
-        gcs_.algorithm(config_.observer).debug_info().ambiguous_count);
+    const std::size_t ambiguous_at_change =
+        gcs_.algorithm(config_.observer).debug_info().ambiguous_count;
+    result.observer_ambiguous_at_changes.push_back(ambiguous_at_change);
+    note_ambiguity_sample(ambiguous_at_change);
     apply_next_fault();
     ++result.changes_applied;
     progress_.gap_drawn = false;
@@ -81,9 +107,7 @@ bool Simulation::step_event() {
 
   // Stabilization: run rounds uninterrupted until a full round passes with
   // no delivery and no send.
-  step_round();
-  ++result.rounds_executed;
-  if (gcs_.has_primary()) ++result.rounds_with_primary;
+  count_round(result);
   ++progress_.quiet_rounds;
   if (last_round_active_) {
     DV_ASSERT_MSG(progress_.quiet_rounds < config_.max_stabilization_rounds,
@@ -96,6 +120,7 @@ bool Simulation::step_event() {
       gcs_.algorithm(config_.observer).debug_info();
   result.observer_ambiguous_at_end = observer.ambiguous_count;
   result.observer_blocked_at_end = observer.blocked;
+  note_ambiguity_sample(observer.ambiguous_count);
   return true;
 }
 
@@ -198,6 +223,11 @@ void Simulation::load(Decoder& dec) {
   checker_.load(dec);
   total_changes_ = dec.get_varint();
   last_round_active_ = dec.get_bool();
+  // Re-arm the observability edge detectors from the restored state so a
+  // resumed run emits the same transitions a never-paused one would.
+  had_primary_ = gcs_.has_primary();
+  last_ambiguous_ =
+      gcs_.algorithm(config_.observer).debug_info().ambiguous_count;
 
   progress_.active = dec.get_bool();
   const std::uint8_t raw_phase = dec.get_u8();

@@ -138,6 +138,12 @@ class Simulation {
   void step_round();
   /// Execute one event; returns true when it completed the active run.
   bool step_event();
+  /// step_round plus the shared per-round accounting (availability counters
+  /// and the primary_formed trace edge).
+  void count_round(RunResult& result);
+  /// Record an observer ambiguity sample; a drop since the previous sample
+  /// means sessions were resolved (observability only).
+  void note_ambiguity_sample(std::size_t ambiguous_count);
 
   // Pinned by the snapshot envelope's config trajectory hash, not written.
   SimulationConfig config_;  // dvlint: transient(constructor configuration)
@@ -147,6 +153,10 @@ class Simulation {
   std::uint64_t total_changes_ = 0;
   bool last_round_active_ = true;
   RunProgress progress_;
+  // Observability edge detectors; recomputed from the restored GCS on
+  // load, never results-affecting.
+  bool had_primary_ = true;  // dvlint: transient(recomputed from gcs on load)
+  std::size_t last_ambiguous_ = 0;  // dvlint: transient(trace edge detector)
 };
 
 }  // namespace dynvote

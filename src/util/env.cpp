@@ -91,4 +91,24 @@ bool env_flag(const char* name, bool fallback) {
   return fallback;
 }
 
+bool env_bool(const char* name, bool fallback) {
+  const auto raw = env_string(name);
+  if (!raw.has_value()) return fallback;
+  const std::string v = lower(*raw);
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  // Distinguish a number a boolean cannot hold (DV_TRACE=2, DV_TRACE=-1,
+  // an over-wide digit string) from outright garbage: the former is a
+  // parseable value out of the variable's range, mirroring env_u64.
+  char* end = nullptr;
+  errno = 0;
+  (void)std::strtoll(raw->c_str(), &end, 10);
+  if (end != raw->c_str() && *end == '\0') {
+    warn_out_of_range(name, *raw, fallback ? "true" : "false");
+    return fallback;
+  }
+  warn_malformed(name, *raw, fallback ? "true" : "false");
+  return fallback;
+}
+
 }  // namespace dynvote

@@ -27,4 +27,11 @@ double env_double(const char* name, double fallback);
 /// false (case-insensitive).  Malformed values warn and return `fallback`.
 bool env_flag(const char* name, bool fallback);
 
+/// Boolean knob with env_u64's out-of-range discipline on top of
+/// env_flag's word forms: numeric values other than 0/1 (DV_TRACE=2,
+/// DV_TRACE=-1) are values a boolean cannot hold and warn as
+/// out-of-range, while non-numeric garbage warns as malformed.  Both
+/// return `fallback`.
+bool env_bool(const char* name, bool fallback);
+
 }  // namespace dynvote

@@ -13,6 +13,8 @@
 
 #include "core/process_set.hpp"
 #include "gcs/gcs.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/alloc_stats.hpp"
 
 namespace dynvote {
@@ -81,6 +83,48 @@ TEST(AllocRegression, QuiescentRoundsAreAllocationFree) {
   const std::uint64_t before = thread_allocations();
   for (int i = 0; i < 100; ++i) (void)gcs.step_round();
   EXPECT_EQ(thread_allocations() - before, 0u);
+}
+
+/// The observability layer must not erode the guarantee: with tracing OFF
+/// (the default), instrumented steady-state rounds at n=64 stay at zero
+/// allocations -- the emission sites cost one relaxed load/add each, never
+/// a heap touch.  install_view carries DV_OBS_INC/DV_TRACE_INSTANT sites,
+/// so this variant counts the partition/merge applications too, not just
+/// the round loop.
+TEST(AllocRegression, TracingOffSteadyStateStaysAllocationFreeAtN64) {
+  if (!alloc_hook_linked()) {
+    GTEST_SKIP() << "dv_alloc_hook not linked; allocation counts unavailable";
+  }
+  ASSERT_FALSE(obs::trace_enabled());
+
+  Gcs gcs(AlgorithmKind::kYkd, kProcesses);
+  ProcessSet lower_half(kProcesses);
+  for (ProcessId p = 0; p < kProcesses / 2; ++p) lower_half.insert(p);
+
+  // Warm-up also interns the emission sites' metric names and allocates
+  // this thread's metrics shard -- one-time costs, by design.
+  for (int cycle = 0; cycle < kWarmupCycles; ++cycle) {
+    gcs.apply_partition(0, lower_half);
+    settle(gcs, nullptr);
+    gcs.apply_merge(0, 1);
+    settle(gcs, nullptr);
+  }
+
+  std::uint64_t rounds = 0;
+  const std::uint64_t before = thread_allocations();
+  while (rounds < kMinMeasuredRounds) {
+    gcs.apply_partition(0, lower_half);
+    while (gcs.step_round() && rounds < 100000) ++rounds;
+    gcs.apply_merge(0, 1);
+    while (gcs.step_round() && rounds < 100000) ++rounds;
+  }
+  const std::uint64_t allocs = thread_allocations() - before;
+
+  EXPECT_GE(rounds, kMinMeasuredRounds);
+  EXPECT_EQ(allocs, 0u)
+      << "with tracing off, instrumented steady state allocated " << allocs
+      << " times over " << rounds
+      << " rounds; DV_OBS_*/DV_TRACE_* sites must be free when disarmed";
 }
 
 }  // namespace

@@ -106,5 +106,46 @@ TEST_F(EnvTest, FlagAcceptsCommonSpellings) {
   EXPECT_FALSE(env_flag(kName, false));
 }
 
+TEST_F(EnvTest, BoolAcceptsWordFormsLikeFlag) {
+  for (const char* yes : {"1", "true", "TRUE", "yes", "On"}) {
+    ::setenv(kName, yes, 1);
+    EXPECT_TRUE(env_bool(kName, false)) << yes;
+  }
+  for (const char* no : {"0", "false", "NO", "off"}) {
+    ::setenv(kName, no, 1);
+    EXPECT_FALSE(env_bool(kName, true)) << no;
+  }
+  ::unsetenv(kName);
+  EXPECT_TRUE(env_bool(kName, true));
+  EXPECT_FALSE(env_bool(kName, false));
+}
+
+TEST_F(EnvTest, BoolNumericNonBinaryWarnsOutOfRange) {
+  // DV_TRACE=2 or DV_TRACE=-1 is a parseable number a boolean cannot
+  // hold: the env_u64 discipline calls that out-of-range, not malformed.
+  for (const char* numeric : {"2", "-1", "42"}) {
+    ::setenv(kName, numeric, 1);
+    ::testing::internal::CaptureStderr();
+    EXPECT_FALSE(env_bool(kName, false)) << numeric;
+    const std::string log = ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(log.find("out-of-range"), std::string::npos) << log;
+    EXPECT_NE(log.find(numeric), std::string::npos) << log;
+  }
+}
+
+TEST_F(EnvTest, BoolGarbageWarnsMalformedAndFallsBack) {
+  ::setenv(kName, "maybe", 1);
+  ::testing::internal::CaptureStderr();
+  EXPECT_TRUE(env_bool(kName, true));
+  std::string log = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(log.find("malformed"), std::string::npos) << log;
+
+  ::setenv(kName, "1x", 1);
+  ::testing::internal::CaptureStderr();
+  EXPECT_FALSE(env_bool(kName, false));
+  log = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(log.find("malformed"), std::string::npos) << log;
+}
+
 }  // namespace
 }  // namespace dynvote

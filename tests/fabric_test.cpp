@@ -186,6 +186,34 @@ TEST(FabricWire, HeartbeatBusySecondsIsVersionGated) {
   EXPECT_EQ(from_v2.busy_seconds, 9.75);
 }
 
+TEST(FabricWire, HeartbeatMetricsAreVersionGated) {
+  HeartbeatFrame beat;
+  beat.inflight = 1;
+  beat.busy_seconds = 0.5;
+  beat.metrics.counters = {{"sim.rounds", 42}};
+  beat.metrics.gauges = {{"runner.jobs", 8}};
+
+  // A v3 peer neither writes nor reads the v4 metrics block.
+  const std::vector<std::byte> v3 = encode_frame(Frame{beat}, 3);
+  const Frame v3_frame = decode_frame(v3);
+  const auto& from_v3 = std::get<HeartbeatFrame>(v3_frame);
+  EXPECT_EQ(from_v3.busy_seconds, 0.5);
+  EXPECT_TRUE(from_v3.metrics.empty());
+
+  // The current version carries it, fully and in canonical order.
+  const std::vector<std::byte> v4 = encode_frame(Frame{beat}, 4);
+  EXPECT_GT(v4.size(), v3.size());
+  const Frame v4_frame = decode_frame(v4);
+  const auto& from_v4 = std::get<HeartbeatFrame>(v4_frame);
+  EXPECT_EQ(from_v4.metrics.counters, beat.metrics.counters);
+  EXPECT_EQ(from_v4.metrics.gauges, beat.metrics.gauges);
+
+  // The default version is the current one.
+  const Frame default_frame = decode_frame(encode_frame(Frame{beat}));
+  const auto& from_default = std::get<HeartbeatFrame>(default_frame);
+  EXPECT_EQ(from_default.metrics.counters, beat.metrics.counters);
+}
+
 TEST(FabricWire, MalformedFramesThrowDecodeError) {
   // Truncated mid-frame.
   const std::vector<std::byte> whole = encode_frame(Frame{StealFrame{5}});
@@ -329,6 +357,17 @@ TEST(FabricSystem, TwoWorkerSweepMatchesInProcessFingerprint) {
     if (w.peer != "local") remote_units += w.units_done;
   }
   EXPECT_GT(remote_units, 0u);
+
+  // The coordinator aggregated metrics into the manifest's observability
+  // block: scheduling counters from its own process at minimum, and since
+  // the sweep executed simulation somewhere, simulation counters too
+  // (either locally or folded from worker heartbeats).
+  EXPECT_FALSE(distributed.metrics.empty());
+  std::uint64_t issued = 0;
+  for (const auto& [name, value] : distributed.metrics.counters) {
+    if (name == "fabric.units_issued") issued = value;
+  }
+  EXPECT_GT(issued, 0u);
 }
 
 TEST(FabricSystem, SilentWorkerDeathTriggersReissueWithIdenticalResults) {

@@ -194,6 +194,25 @@ TEST(LintFixtures, BoundedDecodePairsBoundedAndUnbounded) {
   EXPECT_EQ(via_getter.detail, "get_varint");  // resize(dec.get_varint())
 }
 
+TEST(LintFixtures, TracePurityPairsPureAndImpure) {
+  const LintReport report = lint_fixture("trace_purity");
+  EXPECT_EQ(report.files_scanned, 2u);
+  // pure_emit.hpp contributes nothing (its one impure argument carries the
+  // documented opt-out); impure_emit.hpp flags all four shapes.
+  ASSERT_EQ(report.findings.size(), 4u) << render_text(report);
+  for (const Finding& f : report.findings) {
+    EXPECT_EQ(f.check, CheckId::kTracePurity);
+    EXPECT_EQ(f.file, "sim/impure_emit.hpp");
+  }
+  EXPECT_EQ(report.findings[0].detail, "rng");
+  EXPECT_NE(report.findings[0].message.find("randomness"), std::string::npos);
+  EXPECT_EQ(report.findings[1].detail, "++");
+  EXPECT_EQ(report.findings[2].detail, "=");
+  EXPECT_NE(report.findings[2].message.find("assignment"), std::string::npos);
+  EXPECT_EQ(report.findings[3].detail, "clear");
+  EXPECT_NE(report.findings[3].message.find("mutator"), std::string::npos);
+}
+
 TEST(LintFixtures, LexerHandlesRawStringsAndContinuations) {
   // The fixture packs rand()/time() text into a multi-line raw string, a
   // delimited raw string and a backslash-continued comment; only the one
@@ -266,7 +285,7 @@ TEST(LintFixtures, MalformedSuppressionLinesThrowWithLineNumber) {
 }
 
 TEST(LintChecks, CatalogueRoundTripsAndCoversEveryCheck) {
-  ASSERT_EQ(all_checks().size(), 10u);
+  ASSERT_EQ(all_checks().size(), 11u);
   for (const CheckInfo& info : all_checks()) {
     EXPECT_EQ(to_string(info.id), info.name);
     const std::optional<CheckId> parsed = check_from_string(info.name);

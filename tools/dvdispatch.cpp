@@ -31,6 +31,9 @@
 //   --repair-capacity N  repairable: concurrent repair slots (default 1)
 //   --repair-mean X    repairable: mean repair service rounds (default 8)
 //   --trace FILE       trace: JSON schedule document (implies --model trace)
+//   --trace-out FILE   record a dynvote.events.v1 protocol trace to FILE
+//                      (coordinator/local roles; equivalent to DV_TRACE=1
+//                      with DV_TRACE_OUT=FILE -- analyze with dvtrace)
 //
 // Exit codes: 0 success/clean shutdown, 2 usage or connection failure,
 // 3 worker died via --die-after-units (a test hook, not an error).
@@ -94,6 +97,7 @@ struct Cli {
   bool cascading = true;
   std::uint64_t min_shard_runs = 0;
   FaultModelParams fault_model;
+  std::string trace_out;
 };
 
 bool parse_cli(int argc, char** argv, Cli& cli) {
@@ -199,6 +203,9 @@ bool parse_cli(int argc, char** argv, Cli& cli) {
       buf << in.rdbuf();
       cli.fault_model.kind = FaultModelKind::kTrace;
       cli.fault_model.trace_json = buf.str();
+    } else if (arg == "--trace-out") {
+      if ((value = need_value(i)) == nullptr) return false;
+      cli.trace_out = value;
     } else {
       std::cerr << "dvdispatch: unknown option '" << arg << "'\n";
       return false;
@@ -241,6 +248,9 @@ void report(const SweepSpec& spec, const SweepResult& result) {
   if (!result.artifact_path.empty()) {
     std::cout << "manifest " << result.artifact_path << "\n";
   }
+  if (!result.trace_path.empty()) {
+    std::cout << "trace " << result.trace_path << "\n";
+  }
   if (result.fabric.used) {
     std::cout << "fabric: " << result.fabric.units_issued << " units issued, "
               << result.fabric.units_reissued << " re-issued, "
@@ -251,6 +261,14 @@ void report(const SweepSpec& spec, const SweepResult& result) {
   }
 }
 
+/// --trace-out is sugar for the environment knobs the sweep runner and
+/// coordinator already honor, so one switch arms both code paths.
+void apply_trace_out(const Cli& cli) {
+  if (cli.trace_out.empty()) return;
+  ::setenv("DV_TRACE", "1", 1);
+  ::setenv("DV_TRACE_OUT", cli.trace_out.c_str(), 1);
+}
+
 int run_coordinator(const Cli& cli) {
   fabric::CoordinatorOptions options;
   options.port = cli.port != 0
@@ -259,6 +277,7 @@ int run_coordinator(const Cli& cli) {
                            env_u64("DV_FABRIC_PORT", 7717));
   options.local_jobs = cli.local_jobs;
   options.lease_ms = cli.lease_ms;
+  apply_trace_out(cli);
   const SweepSpec spec = build_spec(cli);
   fabric::Coordinator coordinator(spec, options);
   std::cerr << "dvdispatch: coordinating '" << spec.name << "' ("
@@ -301,6 +320,7 @@ int run_worker_role(const Cli& cli) {
 }
 
 int run_local(const Cli& cli) {
+  apply_trace_out(cli);
   const SweepSpec spec = build_spec(cli);
   const SweepResult result = run_sweep(spec);
   report(spec, result);
