@@ -99,14 +99,14 @@ BENCHMARK(BM_ProtocolRound)->Unit(benchmark::kMicrosecond);
 
 void BM_FullRun(benchmark::State& state) {
   const auto kind = static_cast<AlgorithmKind>(state.range(0));
-  std::uint64_t seed = 1;
+  std::uint64_t iteration = 0;
   for (auto _ : state) {
     SimulationConfig config;
     config.algorithm = kind;
     config.processes = 64;
     config.changes_per_run = 6;
     config.mean_rounds_between_changes = 4.0;
-    config.seed = seed++;
+    config.seed = child_seed(kBenchFullRunStreamTag, iteration++);
     Simulation sim(config);
     benchmark::DoNotOptimize(sim.run_once().primary_at_end);
   }
@@ -120,14 +120,14 @@ BENCHMARK(BM_FullRun)
     ->Arg(static_cast<int>(AlgorithmKind::kSimpleMajority));
 
 void BM_FullRunNoInvariantChecks(benchmark::State& state) {
-  std::uint64_t seed = 1;
+  std::uint64_t iteration = 0;
   for (auto _ : state) {
     SimulationConfig config;
     config.algorithm = AlgorithmKind::kYkd;
     config.processes = 64;
     config.changes_per_run = 6;
     config.mean_rounds_between_changes = 4.0;
-    config.seed = seed++;
+    config.seed = child_seed(kBenchFullRunUncheckedStreamTag, iteration++);
     config.check_invariants = false;
     Simulation sim(config);
     benchmark::DoNotOptimize(sim.run_once().primary_at_end);

@@ -45,6 +45,7 @@ void Dfls::handle_extra_payload(const ProtocolPayload& payload,
   if (gc.formed_number != gc_number_) return;
   gc_received_.insert(sender);
   if (gc_received_ == current_view().members) {
+    if (!ambiguous_.empty()) note_state_mutated();
     ambiguous_.clear();
     gc_pending_ = false;
   }

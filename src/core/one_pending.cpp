@@ -1,7 +1,5 @@
 #include "core/one_pending.hpp"
 
-#include <vector>
-
 namespace dynvote {
 
 OnePending::OnePending(ProcessId self, const View& initial_view)
@@ -18,29 +16,30 @@ bool OnePending::allow_attempt(const CombinedKnowledge& /*knowledge*/,
   //  * a formed session containing m with a higher number exists (m will
   //    adopt it and delete S -- the thesis's ACCEPT + DELETE), or
   //  * every member of S is present and none formed it.
-  const std::size_t universe = initial_view_.members.universe_size();
+  //
+  // Members with no pending sessions (the overwhelmingly common case: the
+  // kFull prune mode just ran) need no verdict at all, so the resolution
+  // ceiling below is computed lazily, only for the members that actually
+  // hold ambiguous sessions.  The ceiling is a max over a total order, so
+  // evaluating it per member instead of table-building it for the whole
+  // universe gives bit-identical answers.
+  for (const auto& [m, state] : states) {
+    if (state->ambiguous.empty()) continue;
 
-  // best_for[m]: highest-numbered formed session containing m, per the
-  // combined state.  One pass over states: lastPrimary covers its members,
-  // lastFormed(m) covers m.
-  std::vector<Session> best_for(universe, Session{0, initial_view_.members});
-  for (const auto& [q, state] : states) {
-    state->last_primary.members.for_each([&](ProcessId m) {
-      if (session_precedes(best_for[m], state->last_primary)) {
-        best_for[m] = state->last_primary;
-      }
-    });
-    for (ProcessId m = 0; m < state->last_formed.size(); ++m) {
-      const Session& lf = state->last_formed[m];
-      if (lf.members.contains(m) && session_precedes(best_for[m], lf)) {
-        best_for[m] = lf;
+    // Highest-numbered formed session containing m, per the combined
+    // state: lastPrimary covers its members, lastFormed(m) covers m.
+    Session best{0, initial_view_.members};
+    for (const auto& [q, st] : states) {
+      const Session& lp = st->last_primary;
+      if (lp.members.contains(m) && session_precedes(best, lp)) best = lp;
+      if (m < st->last_formed.size()) {
+        const Session& lf = st->last_formed[m];
+        if (lf.members.contains(m) && session_precedes(best, lf)) best = lf;
       }
     }
-  }
 
-  for (const auto& [m, state] : states) {
     for (const Session& s : state->ambiguous) {
-      if (s.number <= best_for[m].number) continue;        // will be adopted past S
+      if (s.number <= best.number) continue;               // will be adopted past S
       if (provably_unformed(s, states)) continue;          // witnessed dead
       blocked_ = true;
       return false;  // m is still pending on S: the group blocks

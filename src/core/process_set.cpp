@@ -39,11 +39,6 @@ std::size_t ProcessSet::count() const {
   return n;
 }
 
-void ProcessSet::check_same_universe(const ProcessSet& other) const {
-  DV_REQUIRE(universe_size_ == other.universe_size_,
-             "set operation across different universes");
-}
-
 ProcessId ProcessSet::lowest() const {
   const std::uint64_t* words = word_data();
   for (std::size_t w = 0; w < word_count(); ++w) {
@@ -111,18 +106,6 @@ ProcessSet ProcessSet::minus(const ProcessSet& other) const {
   const std::uint64_t* b = other.word_data();
   for (std::size_t w = 0; w < out.word_count(); ++w) words[w] &= ~b[w];
   return out;
-}
-
-int ProcessSet::compare(const ProcessSet& other) const {
-  check_same_universe(other);
-  const std::uint64_t* a = word_data();
-  const std::uint64_t* b = other.word_data();
-  for (std::size_t w = 0; w < word_count(); ++w) {
-    if (a[w] != b[w]) {
-      return a[w] < b[w] ? -1 : 1;
-    }
-  }
-  return 0;
 }
 
 std::vector<ProcessId> ProcessSet::members() const {

@@ -27,6 +27,7 @@
 
 #include "core/types.hpp"
 #include "util/assert.hpp"
+#include "util/spill_arena.hpp"
 
 namespace dynvote {
 
@@ -132,8 +133,20 @@ class ProcessSet {
 
   /// Three-way comparison giving an arbitrary but fixed total order over
   /// sets of the same universe (used to break session-number ties the same
-  /// way at every process).  Returns <0, 0, >0.
-  int compare(const ProcessSet& other) const;
+  /// way at every process).  Returns <0, 0, >0.  Defined inline: this is
+  /// the hottest call in the session tie-break fold (hundreds of millions
+  /// of calls per sweep).
+  int compare(const ProcessSet& other) const {
+    check_same_universe(other);
+    const std::uint64_t* a = word_data();
+    const std::uint64_t* b = other.word_data();
+    for (std::size_t w = 0; w < word_count(); ++w) {
+      if (a[w] != b[w]) {
+        return a[w] < b[w] ? -1 : 1;
+      }
+    }
+    return 0;
+  }
 
   /// Render as "{0,1,5}" for logs and test failures.
   std::string to_string() const;
@@ -146,6 +159,9 @@ class ProcessSet {
   std::size_t hash() const;
 
  private:
+  /// SoA batch storage copies raw words in and out of lanes.
+  friend class ProcessSetBatch;
+
   /// Universes of up to kInlineWords * 64 ids are stored without heap
   /// allocation.
   static constexpr std::size_t kInlineWords = 2;
@@ -166,11 +182,17 @@ class ProcessSet {
   void check_id(ProcessId id) const {
     DV_REQUIRE(id < universe_size_, "process id outside the set's universe");
   }
-  void check_same_universe(const ProcessSet& other) const;
+  void check_same_universe(const ProcessSet& other) const {
+    DV_REQUIRE(universe_size_ == other.universe_size_,
+               "set operation across different universes");
+  }
 
   std::size_t universe_size_ = 0;
   std::array<std::uint64_t, kInlineWords> inline_words_{};
-  std::vector<std::uint64_t> spill_;
+  /// Spill storage comes from the thread-local freelist arena, so building
+  /// and dropping sets at N > 128 stays allocation-free once the arena's
+  /// freelists are warm (the zero-alloc guarantee past the SBO limit).
+  std::vector<std::uint64_t, SpillArenaAllocator<std::uint64_t>> spill_;
 };
 
 }  // namespace dynvote

@@ -1,0 +1,131 @@
+#include "core/process_set_batch.hpp"
+
+#include <bit>
+
+#include "core/quorum.hpp"
+
+namespace dynvote {
+
+void ProcessSetBatch::set_lane(std::size_t lane, const ProcessSet& s) {
+  check_mask(s);
+  std::uint64_t* dst = lane_words(lane);
+  const std::uint64_t* src = s.word_data();
+  for (std::size_t w = 0; w < words_per_lane_; ++w) dst[w] = src[w];
+}
+
+ProcessSet ProcessSetBatch::extract_lane(std::size_t lane) const {
+  ProcessSet out(universe_size_);
+  const std::uint64_t* src = lane_words(lane);
+  std::uint64_t* dst = out.word_data();
+  for (std::size_t w = 0; w < words_per_lane_; ++w) dst[w] = src[w];
+  return out;
+}
+
+std::size_t ProcessSetBatch::lane_count(std::size_t lane) const {
+  const std::uint64_t* words = lane_words(lane);
+  std::size_t n = 0;
+  for (std::size_t w = 0; w < words_per_lane_; ++w) {
+    n += static_cast<std::size_t>(std::popcount(words[w]));
+  }
+  return n;
+}
+
+void ProcessSetBatch::intersect_lanes(const ProcessSetBatch& other) {
+  check_shape(other);
+  std::uint64_t* a = words_.data();
+  const std::uint64_t* b = other.words_.data();
+  const std::size_t total = lanes_ * words_per_lane_;
+  for (std::size_t w = 0; w < total; ++w) a[w] &= b[w];
+}
+
+void ProcessSetBatch::minus_lanes(const ProcessSetBatch& other) {
+  check_shape(other);
+  std::uint64_t* a = words_.data();
+  const std::uint64_t* b = other.words_.data();
+  const std::size_t total = lanes_ * words_per_lane_;
+  for (std::size_t w = 0; w < total; ++w) a[w] &= ~b[w];
+}
+
+void ProcessSetBatch::unite_lanes(const ProcessSetBatch& other) {
+  check_shape(other);
+  std::uint64_t* a = words_.data();
+  const std::uint64_t* b = other.words_.data();
+  const std::size_t total = lanes_ * words_per_lane_;
+  for (std::size_t w = 0; w < total; ++w) a[w] |= b[w];
+}
+
+void ProcessSetBatch::intersect_broadcast(const ProcessSet& mask) {
+  check_mask(mask);
+  const std::uint64_t* m = mask.word_data();
+  for (std::size_t lane = 0; lane < lanes_; ++lane) {
+    std::uint64_t* a = words_.data() + lane * words_per_lane_;
+    for (std::size_t w = 0; w < words_per_lane_; ++w) a[w] &= m[w];
+  }
+}
+
+void ProcessSetBatch::minus_broadcast(const ProcessSet& mask) {
+  check_mask(mask);
+  const std::uint64_t* m = mask.word_data();
+  for (std::size_t lane = 0; lane < lanes_; ++lane) {
+    std::uint64_t* a = words_.data() + lane * words_per_lane_;
+    for (std::size_t w = 0; w < words_per_lane_; ++w) a[w] &= ~m[w];
+  }
+}
+
+void ProcessSetBatch::unite_broadcast(const ProcessSet& mask) {
+  check_mask(mask);
+  const std::uint64_t* m = mask.word_data();
+  for (std::size_t lane = 0; lane < lanes_; ++lane) {
+    std::uint64_t* a = words_.data() + lane * words_per_lane_;
+    for (std::size_t w = 0; w < words_per_lane_; ++w) a[w] |= m[w];
+  }
+}
+
+void ProcessSetBatch::counts(std::size_t* out) const {
+  for (std::size_t lane = 0; lane < lanes_; ++lane) {
+    const std::uint64_t* a = words_.data() + lane * words_per_lane_;
+    std::size_t n = 0;
+    for (std::size_t w = 0; w < words_per_lane_; ++w) {
+      n += static_cast<std::size_t>(std::popcount(a[w]));
+    }
+    out[lane] = n;
+  }
+}
+
+void ProcessSetBatch::intersection_counts(const ProcessSet& mask,
+                                          std::size_t* out) const {
+  check_mask(mask);
+  const std::uint64_t* m = mask.word_data();
+  for (std::size_t lane = 0; lane < lanes_; ++lane) {
+    const std::uint64_t* a = words_.data() + lane * words_per_lane_;
+    std::size_t n = 0;
+    for (std::size_t w = 0; w < words_per_lane_; ++w) {
+      n += static_cast<std::size_t>(std::popcount(a[w] & m[w]));
+    }
+    out[lane] = n;
+  }
+}
+
+void ProcessSetBatch::subquorum_of(const ProcessSet& of, bool* out) const {
+  check_mask(of);
+  DV_REQUIRE(!of.empty(), "subquorum test against an empty set");
+  const std::uint64_t* m = of.word_data();
+  const std::size_t of_count = of.count();
+  const ProcessId tie_breaker = of.lowest();
+  for (std::size_t lane = 0; lane < lanes_; ++lane) {
+    const std::uint64_t* a = words_.data() + lane * words_per_lane_;
+    std::size_t shared = 0;
+    for (std::size_t w = 0; w < words_per_lane_; ++w) {
+      shared += static_cast<std::size_t>(std::popcount(a[w] & m[w]));
+    }
+    if (2 * shared > of_count) {
+      out[lane] = true;
+    } else if (2 * shared == of_count) {
+      out[lane] = lane_contains(lane, tie_breaker);
+    } else {
+      out[lane] = false;
+    }
+  }
+}
+
+}  // namespace dynvote

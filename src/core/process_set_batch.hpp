@@ -1,0 +1,121 @@
+// Structure-of-arrays storage for K ProcessSet bitmaps over one universe.
+//
+// The batched Monte-Carlo engine advances K independent runs in lockstep;
+// the set algebra those runs share (component masks, quorum evaluation,
+// membership deltas) then operates on K bitmaps at once.  Laying the K
+// bitmaps out contiguously -- lane-major, `words_per_lane` 64-bit words per
+// lane, no per-lane header -- turns every batch-wide intersect / minus /
+// unite into a single dense loop over `lanes * words_per_lane` words: one
+// streaming pass the compiler auto-vectorizes, instead of K separate
+// ProcessSet walks with K universe checks and (past the SBO limit) K
+// pointer chases into spilled storage.
+//
+// The storage itself comes from the spill arena, so resizing or rebuilding
+// batches inside the sweep loop is allocation-free once the arena is warm.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/process_set.hpp"
+#include "core/types.hpp"
+#include "util/assert.hpp"
+#include "util/spill_arena.hpp"
+
+namespace dynvote {
+
+class ProcessSetBatch {
+ public:
+  /// An empty batch is only a placeholder before reset().
+  ProcessSetBatch() = default;
+
+  ProcessSetBatch(std::size_t universe_size, std::size_t lanes) {
+    reset(universe_size, lanes);
+  }
+
+  /// Re-shape to `lanes` empty sets over `universe_size`, reusing storage.
+  void reset(std::size_t universe_size, std::size_t lanes) {
+    universe_size_ = universe_size;
+    lanes_ = lanes;
+    words_per_lane_ = (universe_size + 63) / 64;
+    words_.assign(lanes_ * words_per_lane_, 0);
+  }
+
+  std::size_t universe_size() const { return universe_size_; }
+  std::size_t lanes() const { return lanes_; }
+  std::size_t words_per_lane() const { return words_per_lane_; }
+
+  /// Raw word span of one lane's bitmap (words_per_lane() words).
+  std::uint64_t* lane_words(std::size_t lane) {
+    check_lane(lane);
+    return words_.data() + lane * words_per_lane_;
+  }
+  const std::uint64_t* lane_words(std::size_t lane) const {
+    check_lane(lane);
+    return words_.data() + lane * words_per_lane_;
+  }
+
+  /// Copy a ProcessSet into a lane (universes must match).
+  void set_lane(std::size_t lane, const ProcessSet& s);
+
+  /// Materialize one lane as a standalone ProcessSet.
+  ProcessSet extract_lane(std::size_t lane) const;
+
+  void lane_insert(std::size_t lane, ProcessId id) {
+    DV_REQUIRE(id < universe_size_, "process id outside the batch universe");
+    lane_words(lane)[id / 64] |= (std::uint64_t{1} << (id % 64));
+  }
+
+  bool lane_contains(std::size_t lane, ProcessId id) const {
+    if (id >= universe_size_) return false;
+    return (lane_words(lane)[id / 64] >> (id % 64)) & 1;
+  }
+
+  std::size_t lane_count(std::size_t lane) const;
+
+  // --- batch-wide algebra: every lane against the matching lane of
+  // `other` (shapes must be identical), as one dense word loop ---
+  void intersect_lanes(const ProcessSetBatch& other);
+  void minus_lanes(const ProcessSetBatch& other);
+  void unite_lanes(const ProcessSetBatch& other);
+
+  // --- broadcast algebra: every lane against one shared mask ---
+  void intersect_broadcast(const ProcessSet& mask);
+  void minus_broadcast(const ProcessSet& mask);
+  void unite_broadcast(const ProcessSet& mask);
+
+  /// Member counts of all lanes in one pass; `out` must hold lanes() slots.
+  void counts(std::size_t* out) const;
+
+  /// |lane ∩ mask| for all lanes in one pass; `out` holds lanes() slots.
+  void intersection_counts(const ProcessSet& mask, std::size_t* out) const;
+
+  /// Dynamic-linear-voting subquorum verdicts for every lane against one
+  /// shared `of` set (thesis Figure 3-4, including the exact-half lexical
+  /// tie-break); `out` must hold lanes() slots.  `of` must be non-empty.
+  void subquorum_of(const ProcessSet& of, bool* out) const;
+
+  bool operator==(const ProcessSetBatch& other) const = default;
+
+ private:
+  void check_lane(std::size_t lane) const {
+    DV_REQUIRE(lane < lanes_, "lane index outside the batch");
+  }
+  void check_shape(const ProcessSetBatch& other) const {
+    DV_REQUIRE(universe_size_ == other.universe_size_ &&
+                   lanes_ == other.lanes_,
+               "batch operation across mismatched shapes");
+  }
+  void check_mask(const ProcessSet& mask) const {
+    DV_REQUIRE(mask.universe_size() == universe_size_,
+               "broadcast mask from a different universe");
+  }
+
+  std::size_t universe_size_ = 0;
+  std::size_t lanes_ = 0;
+  std::size_t words_per_lane_ = 0;
+  std::vector<std::uint64_t, SpillArenaAllocator<std::uint64_t>> words_;
+};
+
+}  // namespace dynvote

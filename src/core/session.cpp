@@ -20,9 +20,4 @@ Session Session::decode(Decoder& dec) {
   return s;
 }
 
-bool session_precedes(const Session& a, const Session& b) {
-  if (a.number != b.number) return a.number < b.number;
-  return a.members.compare(b.members) < 0;
-}
-
 }  // namespace dynvote

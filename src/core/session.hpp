@@ -31,8 +31,12 @@ struct Session {
 /// Deterministic total order on sessions: by number, then by membership.
 /// Ties on the number alone are possible (two concurrent attempts in
 /// disjoint components can pick the same number), and every process must
-/// break them identically.
-bool session_precedes(const Session& a, const Session& b);
+/// break them identically.  Inline: the RESOLVE/ACCEPT folds call this for
+/// every (member, state) pair of every exchange.
+inline bool session_precedes(const Session& a, const Session& b) {
+  if (a.number != b.number) return a.number < b.number;
+  return a.members.compare(b.members) < 0;
+}
 
 }  // namespace dynvote
 

@@ -36,14 +36,21 @@ void YkdFamilyBase::view_changed(const View& view) {
   // Rebuild our round-1 payload in place when we are its sole owner again
   // (recipients cleared their exchange tables, the network flushed); the
   // vectors inside keep their capacity, so steady-state view changes do
-  // not allocate for it.
-  if (!state_pool_ || state_pool_.use_count() > 1) {
-    state_pool_ = std::make_shared<StateExchangePayload>();
+  // not allocate for it.  When the sole-owned payload was filled at the
+  // current state generation it is already byte-identical, so the copies
+  // (last_formed_ alone is universe-sized) are skipped outright.
+  const bool pool_fresh = state_pool_ && state_pool_.use_count() == 1 &&
+                          state_pool_version_ == state_version_;
+  if (!pool_fresh) {
+    if (!state_pool_ || state_pool_.use_count() > 1) {
+      state_pool_ = std::make_shared<StateExchangePayload>();
+    }
+    state_pool_->session_number = session_number_;
+    state_pool_->last_primary = last_primary_;
+    state_pool_->ambiguous = ambiguous_;
+    state_pool_->last_formed = last_formed_;
+    state_pool_version_ = state_version_;
   }
-  state_pool_->session_number = session_number_;
-  state_pool_->last_primary = last_primary_;
-  state_pool_->ambiguous = ambiguous_;
-  state_pool_->last_formed = last_formed_;
   stage(state_pool_);
 }
 
@@ -182,6 +189,7 @@ void YkdFamilyBase::on_exchange_complete() {
   if (session_precedes(last_primary_, best)) {
     last_primary_ = best;
     best.members.for_each([&](ProcessId q) { last_formed_[q] = best; });
+    note_state_mutated();
   }
 
   // RESOLVE / DELETE: shed stored ambiguous sessions per the variant's
@@ -189,24 +197,26 @@ void YkdFamilyBase::on_exchange_complete() {
   // built from the received states and filtered the same way everywhere --
   // it changes what is stored and shipped, and what an unfiltered decision
   // like DFLS's is constrained by next time.)
+  std::size_t pruned = 0;
   switch (prune_mode_) {
     case PruneMode::kFull:
-      std::erase_if(ambiguous_, [&](const Session& s) {
+      pruned = std::erase_if(ambiguous_, [&](const Session& s) {
         return s.number <= last_primary_.number ||
                provably_unformed(s, states_);
       });
       break;
     case PruneMode::kGlobalSuperseded:
-      std::erase_if(ambiguous_, [&](const Session& s) {
+      pruned = std::erase_if(ambiguous_, [&](const Session& s) {
         return s.number <= knowledge.max_primary.number;
       });
       break;
     case PruneMode::kUnformedOnly:
-      std::erase_if(ambiguous_, [&](const Session& s) {
+      pruned = std::erase_if(ambiguous_, [&](const Session& s) {
         return provably_unformed(s, states_);
       });
       break;
   }
+  if (pruned != 0) note_state_mutated();
 
   // DECIDE (Figure 3-4): the new view must be a subquorum of maxPrimary and
   // of every constraint session.
@@ -229,6 +239,7 @@ void YkdFamilyBase::on_exchange_complete() {
   session_number_ = knowledge.max_session + 1;
   proposed_ = Session{session_number_, current_view_.members};
   ambiguous_.push_back(proposed_);
+  note_state_mutated();
   stage_ = Stage::kAttempting;
   attempts_received_.clear();
 
@@ -246,6 +257,7 @@ void YkdFamilyBase::form_primary() {
   in_primary_ = true;
   proposed_.members.for_each([&](ProcessId q) { last_formed_[q] = proposed_; });
   stage_ = Stage::kIdle;
+  note_state_mutated();
   on_primary_formed();
 }
 
@@ -348,6 +360,7 @@ void YkdFamilyBase::load(Decoder& dec) {
   for (std::uint64_t i = 0; i < staged; ++i) {
     outbox_.push_back(decode_staged_payload(dec));
   }
+  note_state_mutated();  // restored fields: the pooled payload is stale
   load_extra(dec);
 }
 

@@ -32,6 +32,7 @@
 // this filter would drop anyway) cannot change any decision.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -218,6 +219,14 @@ class YkdFamilyBase : public PrimaryComponentAlgorithm {
   /// Is there combined-state proof that S was never formed by any member?
   bool provably_unformed(const Session& s, const StateMap& states) const;
 
+  /// Every mutation of the four fields the round-1 payload mirrors
+  /// (session_number_, last_primary_, ambiguous_, last_formed_) must call
+  /// this; view_changed() uses the generation to skip rebuilding the pooled
+  /// payload when nothing changed since it was last filled (the common case
+  /// in quiescent view churn).  Subclasses that mutate those fields outside
+  /// the base's paths (DFLS's delayed GC delete) must call it too.
+  void note_state_mutated() { ++state_version_; }
+
   // --- persistent algorithm state (thesis §3.1) ---
   Session last_primary_;              // last primary formed or adopted
   std::vector<Session> last_formed_;  // lastFormed(q), indexed by q
@@ -259,6 +268,14 @@ class YkdFamilyBase : public PrimaryComponentAlgorithm {
   /// is actually staged or received.
   std::shared_ptr<StateExchangePayload>
       state_pool_;  // dvlint: transient(allocator cache, never read back)
+  /// Generation counter over the payload-mirrored persistent fields and the
+  /// generation state_pool_ was filled at.  When they match and we are the
+  /// payload's sole owner, view_changed() reuses it without copying -- pure
+  /// cache-validity tracking, never snapshotted (load() bumps the
+  /// generation so a restored instance always rebuilds).
+  std::uint64_t state_version_ = 1;  // dvlint: transient(cache validity)
+  std::uint64_t
+      state_pool_version_ = 0;  // dvlint: transient(cache validity)
   /// Single-slot reuse of the round-2 attempt payload, same contract.
   std::shared_ptr<AttemptPayload>
       attempt_pool_;  // dvlint: transient(allocator cache, never read back)

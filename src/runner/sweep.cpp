@@ -88,6 +88,17 @@ double probe_steady_allocs_per_round(const CaseSpec& cs) {
          static_cast<double>(measured_rounds);
 }
 
+/// Spill-arena telemetry scoped to this sweep: the monotone counters are
+/// deltas against the sweep-start snapshot, the byte gauges stay absolute
+/// (live/peak bytes are states, not flows).
+SpillArenaStats arena_delta_since(const SpillArenaStats& base) {
+  SpillArenaStats now = spill_arena_merged_stats();
+  now.allocs -= base.allocs;
+  now.freelist_hits -= base.freelist_hits;
+  now.chunk_bytes -= base.chunk_bytes;
+  return now;
+}
+
 }  // namespace
 
 /// Arm the trace recorder when DV_TRACE asks for it.  Idempotent: tracing
@@ -229,6 +240,9 @@ struct CaseState {
   std::uint64_t cascade_shard_size = 0;
   std::vector<CascadeCheckpoint> checkpoints;
   std::vector<ShardPartial> partials;
+  /// Batched-engine telemetry summed over fresh-start shards; merged under
+  /// the scheduler lock alongside the partials.
+  BatchTelemetry batch;
   double compute_seconds = 0.0;
   std::uint64_t finished_runs = 0;   // dvlint: guarded_by(scheduler_mutex)
   std::size_t steals = 0;            // dvlint: guarded_by(scheduler_mutex)
@@ -244,6 +258,7 @@ SweepResult run_sweep(const SweepSpec& spec) {
   // Metrics are process-cumulative; the delta scopes the manifest's
   // observability block to this sweep.
   const obs::MetricsSnapshot metrics_base = obs::snapshot_metrics();
+  const SpillArenaStats arena_base = spill_arena_merged_stats();
   const std::size_t jobs = spec.jobs != 0 ? spec.jobs : jobs_from_env();
   ProgressSink& progress =
       spec.progress != nullptr ? *spec.progress : default_progress_sink();
@@ -293,6 +308,7 @@ SweepResult run_sweep(const SweepSpec& spec) {
     }
     outcome.steady_allocs_per_round =
         probe_steady_allocs_per_round(outcome.spec);
+    outcome.batch = state.batch;
 
     CaseTelemetry telemetry;
     telemetry.label = case_label(spec.cases[case_index]);
@@ -319,8 +335,11 @@ SweepResult run_sweep(const SweepSpec& spec) {
         if (obs::trace_enabled()) {
           span.emplace(case_label(spec.cases[i]), 0, spec.cases[i].spec.runs);
         }
-        state.partials.push_back(
-            ShardPartial{0, run_case(spec.cases[i].spec)});
+        const CaseSpec& cs = spec.cases[i].spec;
+        state.partials.push_back(ShardPartial{
+            0, cs.mode == RunMode::kFreshStart
+                   ? run_case_shard(cs, 0, cs.runs, &state.batch)
+                   : run_case(cs)});
       }
       state.compute_seconds = seconds_since(start);
       DV_OBS_INC("runner.units");
@@ -331,6 +350,7 @@ SweepResult run_sweep(const SweepSpec& spec) {
     progress.sweep_done(spec.name.empty() ? "(unnamed sweep)" : spec.name,
                         case_count, result.wall_seconds);
     result.metrics = obs::snapshot_metrics().delta_since(metrics_base);
+    result.arena = arena_delta_since(arena_base);
     result.trace_path = drain_trace_to_artifact(spec.name);
     if (!spec.name.empty()) {
       result.artifact_path = write_manifest(spec, result);
@@ -469,6 +489,7 @@ SweepResult run_sweep(const SweepSpec& spec) {
       }
 
       CaseResult partial;
+      BatchTelemetry unit_batch;
       {
         // Case-labeled shard span (materialized only when tracing is
         // armed); the run spans emitted by the experiment layer nest
@@ -486,7 +507,8 @@ SweepResult run_sweep(const SweepSpec& spec) {
                   : states[i].checkpoints[unit.checkpoint_index];
           partial = run_cascading_shard(cs, from, unit.run_count);
         } else if (cs.mode == RunMode::kFreshStart) {
-          partial = run_case_shard(cs, unit.first_run, unit.run_count);
+          partial =
+              run_case_shard(cs, unit.first_run, unit.run_count, &unit_batch);
         } else {
           partial = run_case(cs);
         }
@@ -498,6 +520,7 @@ SweepResult run_sweep(const SweepSpec& spec) {
       lock.lock();
       CaseState& state = states[i];
       state.compute_seconds += seconds;
+      state.batch.merge(unit_batch);
       state.partials.push_back(ShardPartial{unit.first_run, std::move(partial)});
       state.finished_runs += unit.run_count;
       if (state.finished_runs == cs.runs) {
@@ -535,6 +558,7 @@ SweepResult run_sweep(const SweepSpec& spec) {
   // The pool is joined: worker shards are retired and their rings are
   // quiescent, so both folds below are race-free and complete.
   result.metrics = obs::snapshot_metrics().delta_since(metrics_base);
+  result.arena = arena_delta_since(arena_base);
   result.trace_path = drain_trace_to_artifact(spec.name);
   if (!spec.name.empty()) {
     result.artifact_path = write_manifest(spec, result);

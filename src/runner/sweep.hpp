@@ -29,7 +29,9 @@
 
 #include "obs/metrics.hpp"
 #include "runner/progress.hpp"
+#include "sim/batch_driver.hpp"
 #include "sim/experiment.hpp"
+#include "util/spill_arena.hpp"
 
 namespace dynvote {
 
@@ -82,6 +84,12 @@ struct CaseOutcome {
   /// Times a unit of this case was claimed by a different worker than the
   /// previous one -- scheduling telemetry, never part of the results.
   std::size_t steals = 0;
+  /// Batched-engine telemetry summed over this case's fresh-start shards
+  /// (sim/batch_driver.hpp): lockstep width, prefix-sharing hit counts,
+  /// fast-forwarded rounds.  `batch.runs == 0` for cascading cases, which
+  /// never batch.  Volatile: rendered in the manifest's volatile block
+  /// only, never part of the results fingerprint.
+  BatchTelemetry batch;
 };
 
 /// Per-connection telemetry from one fabric worker (src/fabric).  Declared
@@ -134,6 +142,10 @@ struct SweepResult {
   /// volatile `observability` block.  Fabric coordinators fold aggregated
   /// worker snapshots in as well.  Never part of the results fingerprint.
   obs::MetricsSnapshot metrics;
+  /// Spill-arena activity during this sweep, merged across worker threads
+  /// (util/spill_arena.hpp): counter fields are deltas scoped to the sweep,
+  /// byte gauges are end-of-sweep absolutes.  Volatile telemetry.
+  SpillArenaStats arena;
 };
 
 /// Execute the sweep across the worker pool and (when `spec.name` is set)

@@ -1,0 +1,127 @@
+#include "sim/batch_driver.hpp"
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "core/process_set_batch.hpp"
+#include "util/assert.hpp"
+
+namespace dynvote {
+
+namespace {
+
+/// Events granted to each lane per scheduler pass.  Small enough that the
+/// lanes stay within a few faults of each other (lockstep), large enough
+/// that the per-call overhead of run_events stays negligible.
+constexpr std::size_t kEventsPerSlice = 8;
+
+}  // namespace
+
+BatchTelemetry BatchDriver::run(std::uint64_t first_run,
+                                std::uint64_t run_count, std::size_t width,
+                                const PrefixCache& prefix,
+                                const MakeSimulation& make_simulation,
+                                const RetireRun& retire) {
+  DV_REQUIRE(width >= 1, "batch width must be at least 1");
+  BatchTelemetry telemetry;
+  telemetry.batch_width = width;
+  if (run_count == 0) return telemetry;
+
+  struct Lane {
+    std::uint64_t run_index = 0;
+    std::unique_ptr<Simulation> sim;
+  };
+
+  const std::uint64_t end_run = first_run + run_count;
+  std::uint64_t next_run = first_run;
+  std::uint64_t next_retire = first_run;
+
+  // Completed runs parked until every earlier run has retired.  Lanes run
+  // within a few events of each other, so the buffer stays near `width`.
+  std::map<std::uint64_t, RunRecord> parked;
+
+  // The batched end-state statistic: stable-end observer components
+  // accumulate into SoA lanes and are counted `width` bitmaps at a time.
+  ProcessSetBatch end_components;
+  std::vector<std::size_t> end_counts(width, 0);
+  std::size_t pending_components = 0;
+  const auto flush_components = [&] {
+    if (pending_components == 0) return;
+    end_components.counts(end_counts.data());
+    for (std::size_t i = 0; i < pending_components; ++i) {
+      telemetry.end_component_members += end_counts[i];
+    }
+    pending_components = 0;
+  };
+
+  const auto start_lane = [&](Lane& lane) {
+    lane.run_index = next_run++;
+    lane.sim = make_simulation(lane.run_index);
+    const std::size_t adopted = lane.sim->begin_run_with_prefix(prefix);
+    if (adopted > 0) {
+      ++telemetry.prefix_hits;
+      telemetry.prefix_rounds_adopted += adopted;
+    } else {
+      ++telemetry.prefix_misses;
+    }
+  };
+
+  const auto finish_lane = [&](Lane& lane, RunResult&& result) {
+    RunRecord record;
+    record.run_index = lane.run_index;
+    record.result = std::move(result);
+    record.wire = lane.sim->gcs().wire_stats();
+    record.invariant_checks = lane.sim->invariant_checks();
+    record.deliveries = lane.sim->gcs().deliveries();
+    telemetry.ff_rounds_skipped += lane.sim->fast_forwarded_rounds();
+    ++telemetry.runs;
+
+    const Gcs& gcs = lane.sim->gcs();
+    if (end_components.lanes() != width) {
+      end_components.reset(gcs.process_count(), width);
+    }
+    const Topology& topology = gcs.topology();
+    const ProcessId observer = lane.sim->config().observer;
+    end_components.set_lane(pending_components,
+                            topology.component(topology.component_of(observer)));
+    if (++pending_components == width) flush_components();
+
+    parked.emplace(record.run_index, std::move(record));
+  };
+
+  std::vector<Lane> lanes;
+  lanes.reserve(width);
+  while (lanes.size() < width && next_run < end_run) {
+    lanes.emplace_back();
+    start_lane(lanes.back());
+  }
+
+  while (!lanes.empty()) {
+    for (std::size_t i = 0; i < lanes.size();) {
+      std::optional<RunResult> result =
+          lanes[i].sim->run_events(kEventsPerSlice);
+      if (!result) {
+        ++i;
+        continue;
+      }
+      finish_lane(lanes[i], *std::move(result));
+      if (next_run < end_run) {
+        start_lane(lanes[i]);
+        ++i;
+      } else {
+        lanes.erase(lanes.begin() + static_cast<std::ptrdiff_t>(i));
+      }
+    }
+    while (!parked.empty() && parked.begin()->first == next_retire) {
+      retire(parked.begin()->second);
+      parked.erase(parked.begin());
+      ++next_retire;
+    }
+  }
+  flush_components();
+  DV_ASSERT(parked.empty() && next_retire == end_run);
+  return telemetry;
+}
+
+}  // namespace dynvote

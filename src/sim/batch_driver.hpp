@@ -1,0 +1,87 @@
+// The lockstep batch driver.
+//
+// Advances up to K independent fresh-start runs of one case "in lockstep":
+// each scheduler pass gives every live lane a fixed slice of simulation
+// events, so K runs progress together instead of one run monopolizing the
+// loop until it finishes.  Combined with the shared prefix cache
+// (sim/prefix.hpp) and the quiet-gap fast-forward
+// (SimulationConfig::fast_forward_quiet_gaps), this is the batched
+// Monte-Carlo engine; results retire through a run-order reorder buffer, so
+// the stream of retired runs is bit-identical to the serial loop -- same
+// RunResults, same order, same per-run counter folds.
+//
+// Cross-run batch statistics (the mean stable-end component size) are
+// computed on ProcessSetBatch lanes, K bitmaps at a time.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "gcs/gcs.hpp"
+#include "sim/driver.hpp"
+#include "sim/prefix.hpp"
+
+namespace dynvote {
+
+/// How a batched case ran: engine shape, prefix-sharing effectiveness, and
+/// the batch-computed end-state statistic.  Everything here is telemetry --
+/// it rides the manifest's volatile block only and never touches the
+/// results fingerprint.
+struct BatchTelemetry {
+  std::uint64_t batch_width = 1;
+  std::uint64_t runs = 0;
+  /// Runs that forked from a prefix node instead of re-simulating their
+  /// pre-fault rounds (misses: zero first gap, dry schedule, no changes).
+  std::uint64_t prefix_hits = 0;
+  std::uint64_t prefix_misses = 0;
+  /// Rounds restored from prefix nodes across all runs.
+  std::uint64_t prefix_rounds_adopted = 0;
+  /// Quiet gap rounds advanced arithmetically instead of simulated.
+  std::uint64_t ff_rounds_skipped = 0;
+  /// Sum over runs of |the observer's component at the stable end|;
+  /// divide by runs * processes for the mean reachable fraction.
+  std::uint64_t end_component_members = 0;
+
+  void merge(const BatchTelemetry& other) {
+    batch_width = batch_width > other.batch_width ? batch_width
+                                                  : other.batch_width;
+    runs += other.runs;
+    prefix_hits += other.prefix_hits;
+    prefix_misses += other.prefix_misses;
+    prefix_rounds_adopted += other.prefix_rounds_adopted;
+    ff_rounds_skipped += other.ff_rounds_skipped;
+    end_component_members += other.end_component_members;
+  }
+};
+
+class BatchDriver {
+ public:
+  /// One completed run, as the serial loop would have observed it: the
+  /// result plus the simulation's cumulative counters (fresh-start runs
+  /// fold against zero, so cumulative == per-run delta).
+  struct RunRecord {
+    std::uint64_t run_index = 0;
+    RunResult result;
+    WireStats wire;
+    std::uint64_t invariant_checks = 0;
+    std::uint64_t deliveries = 0;
+  };
+
+  using MakeSimulation =
+      std::function<std::unique_ptr<Simulation>(std::uint64_t run_index)>;
+  /// Invoked once per run, strictly in run-index order.
+  using RetireRun = std::function<void(const RunRecord&)>;
+
+  /// Drive runs [first_run, first_run + run_count) of one case, up to
+  /// `width` at a time.  Each new lane's simulation comes from
+  /// `make_simulation` and is started through the prefix cache; completed
+  /// runs retire through `retire` in run order.
+  static BatchTelemetry run(std::uint64_t first_run, std::uint64_t run_count,
+                            std::size_t width, const PrefixCache& prefix,
+                            const MakeSimulation& make_simulation,
+                            const RetireRun& retire);
+};
+
+}  // namespace dynvote

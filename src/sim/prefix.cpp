@@ -1,0 +1,45 @@
+#include "sim/prefix.hpp"
+
+#include "util/codec.hpp"
+
+namespace dynvote {
+
+namespace {
+
+/// Spine cap: a geometric gap this long is vanishingly rare at the studied
+/// rates, and the cap also bounds the cache if an algorithm ever chatters
+/// from genesis instead of quiescing.
+constexpr std::size_t kMaxPrefixRounds = 64;
+
+std::vector<std::byte> gcs_bytes(const Simulation& sim) {
+  Encoder enc;
+  sim.gcs().save(enc);
+  return enc.take();
+}
+
+}  // namespace
+
+PrefixCache::PrefixCache(const SimulationConfig& config) {
+  Simulation spine(config);
+  const std::vector<std::byte> start = gcs_bytes(spine);
+  std::size_t rounds_with_primary = 0;
+  for (std::size_t r = 1; r <= kMaxPrefixRounds; ++r) {
+    const bool active = spine.advance_prefix_round();
+    Node node;
+    node.has_primary = spine.gcs().has_primary();
+    if (node.has_primary) ++rounds_with_primary;
+    node.rounds_with_primary = rounds_with_primary;
+    node.last_round_active = active;
+    // A quiet round that left the GCS byte-identical to genesis needs no
+    // snapshot: the adopting run's own fresh state already IS the node.
+    if (active || gcs_bytes(spine) != start) {
+      Encoder enc;
+      spine.save_prefix_node(enc);
+      node.bytes = enc.take();
+    }
+    nodes_.push_back(std::move(node));
+    if (!active) break;
+  }
+}
+
+}  // namespace dynvote

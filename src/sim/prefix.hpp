@@ -1,0 +1,61 @@
+// Shared fault-schedule prefix cache.
+//
+// Every run of a fresh-start case executes the same rounds before its first
+// fault: those rounds draw no RNG at all (the delivery coin only flips when
+// a partition catches messages in flight, and the fault stream's first draw
+// is the gap length itself), so their trajectory is a pure function of the
+// case configuration, never of the run seed.  PrefixCache simulates that
+// shared trajectory ONCE per case and snapshots each round's state through
+// the dynvote.snapshot.v2 component machinery (Gcs::save + checker save); a
+// run whose first gap is g then forks from node min(g, depth) instead of
+// re-simulating rounds 1..g.  The "tree" degenerates to a spine because all
+// runs share one pre-fault history -- divergence begins at the first fault,
+// which is exactly where adoption stops.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/driver.hpp"
+#include "util/assert.hpp"
+
+namespace dynvote {
+
+class PrefixCache {
+ public:
+  struct Node {
+    /// Simulation::save_prefix_node bytes.  EMPTY when the state after this
+    /// node's rounds is byte-identical to the fresh-start state (the common
+    /// case: the genesis view is already installed and quiescent), in which
+    /// case adoption skips the decode entirely and costs only arithmetic.
+    std::vector<std::byte> bytes;
+    /// Of rounds 1..r, how many had a primary component present.
+    std::size_t rounds_with_primary = 0;
+    /// Primary component present after round r.
+    bool has_primary = false;
+    /// Round r itself was active (false only for the final, quiescent
+    /// node: quiescence ends the spine).
+    bool last_round_active = false;
+  };
+
+  /// Build the spine for `config` by advancing one simulation round by
+  /// round until the first quiet round (capped).  The spine simulation
+  /// never draws from the fault or delivery streams, so the cache is valid
+  /// for every run seed of the case.
+  explicit PrefixCache(const SimulationConfig& config);
+
+  /// Number of shared rounds cached: the first quiet round's index (or the
+  /// cap, if the algorithms were still chattering when it was reached).
+  std::size_t depth() const { return nodes_.size(); }
+
+  /// Node for round r, 1 <= r <= depth().
+  const Node& node(std::size_t r) const {
+    DV_REQUIRE(r >= 1 && r <= nodes_.size(), "prefix node out of range");
+    return nodes_[r - 1];
+  }
+
+ private:
+  std::vector<Node> nodes_;
+};
+
+}  // namespace dynvote

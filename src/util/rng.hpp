@@ -118,6 +118,12 @@ constexpr std::uint64_t mix_seed(std::uint64_t base,
 inline constexpr std::uint64_t kDeliveryStreamTag = 0xDE11u;
 inline constexpr std::uint64_t kSleepyStreamTag = 0x51EE9u;
 inline constexpr std::uint64_t kRepairStreamTag = 0x4E9A12u;
+// The full-run microbenches seed one simulation per iteration; tagging the
+// two benches keeps their schedule families disjoint from each other and
+// from every simulation stream (they previously shared the same literal
+// seeds, so both benches timed identical schedules).
+inline constexpr std::uint64_t kBenchFullRunStreamTag = 0xBE7CF1u;
+inline constexpr std::uint64_t kBenchFullRunUncheckedStreamTag = 0xBE7CF2u;
 
 /// Derive the independent child seed for a tagged stream.
 constexpr std::uint64_t child_seed(std::uint64_t base, std::uint64_t tag) {

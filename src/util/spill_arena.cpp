@@ -1,0 +1,138 @@
+#include "util/spill_arena.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <mutex>
+#include <new>
+#include <vector>
+
+namespace dynvote {
+namespace {
+
+/// Size classes are powers of two from 16 bytes (room for the freelist
+/// link) up to 64 KiB; anything larger bypasses the arena.  A ProcessSet
+/// spill at N=256 is 4 words = 32 bytes, N=4096 is 512 bytes -- all deep
+/// inside the classed range.
+constexpr std::size_t kMinClassShift = 4;    // 16 B
+constexpr std::size_t kMaxClassShift = 16;   // 64 KiB
+constexpr std::size_t kNumClasses = kMaxClassShift - kMinClassShift + 1;
+constexpr std::size_t kChunkBytes = std::size_t{256} * 1024;
+
+struct FreeBlock {
+  FreeBlock* next;
+};
+
+/// Aggregates the totals of threads that have already exited, and tracks
+/// the live threads' stats blocks so merged_stats can walk them.
+struct Registry {
+  std::mutex mutex;
+  SpillArenaStats retired;
+  std::vector<const SpillArenaStats*> live;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+class ThreadArena {
+ public:
+  ThreadArena() {
+    std::lock_guard<std::mutex> lock(registry().mutex);
+    registry().live.push_back(&stats_);
+  }
+
+  ~ThreadArena() {
+    {
+      std::lock_guard<std::mutex> lock(registry().mutex);
+      auto& live = registry().live;
+      live.erase(std::remove(live.begin(), live.end(), &stats_), live.end());
+      registry().retired += stats_;
+    }
+    for (void* chunk : chunks_) ::operator delete(chunk);
+  }
+
+  void* allocate(std::size_t bytes) {
+    const int cls = class_of(bytes);
+    if (cls < 0) return ::operator new(bytes);  // oversize: pass through
+    ++stats_.allocs;
+    const std::size_t block = std::size_t{1} << (kMinClassShift + cls);
+    stats_.live_bytes += block;
+    stats_.peak_bytes = std::max(stats_.peak_bytes, stats_.live_bytes);
+    if (FreeBlock* head = freelists_[cls]) {
+      freelists_[cls] = head->next;
+      ++stats_.freelist_hits;
+      return head;
+    }
+    if (bump_remaining_ < block) refill();
+    void* p = bump_;
+    bump_ += block;
+    bump_remaining_ -= block;
+    return p;
+  }
+
+  void deallocate(void* p, std::size_t bytes) noexcept {
+    const int cls = class_of(bytes);
+    if (cls < 0) {
+      ::operator delete(p);
+      return;
+    }
+    const std::size_t block = std::size_t{1} << (kMinClassShift + cls);
+    stats_.live_bytes -= block;
+    auto* fb = static_cast<FreeBlock*>(p);
+    fb->next = freelists_[cls];
+    freelists_[cls] = fb;
+  }
+
+  const SpillArenaStats& stats() const { return stats_; }
+
+ private:
+  /// Class index for a request, or -1 for oversize.
+  static int class_of(std::size_t bytes) {
+    const std::size_t clamped = std::max(bytes, std::size_t{1} << kMinClassShift);
+    const auto shift = static_cast<std::size_t>(std::bit_width(clamped - 1));
+    if (shift > kMaxClassShift) return -1;
+    return static_cast<int>(shift - kMinClassShift);
+  }
+
+  void refill() {
+    void* chunk = ::operator new(kChunkBytes);
+    chunks_.push_back(chunk);
+    bump_ = static_cast<std::byte*>(chunk);
+    bump_remaining_ = kChunkBytes;
+    stats_.chunk_bytes += kChunkBytes;
+  }
+
+  FreeBlock* freelists_[kNumClasses] = {};
+  std::byte* bump_ = nullptr;
+  std::size_t bump_remaining_ = 0;
+  std::vector<void*> chunks_;
+  SpillArenaStats stats_;
+};
+
+ThreadArena& thread_arena() {
+  thread_local ThreadArena arena;
+  return arena;
+}
+
+}  // namespace
+
+void* spill_arena_allocate(std::size_t bytes) {
+  return thread_arena().allocate(bytes);
+}
+
+void spill_arena_deallocate(void* p, std::size_t bytes) noexcept {
+  thread_arena().deallocate(p, bytes);
+}
+
+SpillArenaStats spill_arena_thread_stats() { return thread_arena().stats(); }
+
+SpillArenaStats spill_arena_merged_stats() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  SpillArenaStats out = r.retired;
+  for (const SpillArenaStats* s : r.live) out += *s;
+  return out;
+}
+
+}  // namespace dynvote

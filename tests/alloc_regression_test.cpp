@@ -70,6 +70,44 @@ TEST(AllocRegression, SteadyStateRoundsAreAllocationFreeAtN64) {
       << "allocation-free";
 }
 
+/// Past the SBO limit: at N=256 every ProcessSet spills, and the spill
+/// storage comes from the thread-local freelist arena -- so warmed-up
+/// steady-state rounds must stay at ZERO heap allocations there too.  This
+/// is the gate for the beyond-128 extension of the zero-alloc guarantee.
+TEST(AllocRegression, SteadyStateRoundsAreAllocationFreeAtN256) {
+  if (!alloc_hook_linked()) {
+    GTEST_SKIP() << "dv_alloc_hook not linked; allocation counts unavailable";
+  }
+
+  constexpr std::size_t kBigUniverse = 256;
+  Gcs gcs(AlgorithmKind::kYkd, kBigUniverse);
+  ProcessSet lower_half(kBigUniverse);
+  for (ProcessId p = 0; p < kBigUniverse / 2; ++p) lower_half.insert(p);
+
+  for (int cycle = 0; cycle < kWarmupCycles; ++cycle) {
+    gcs.apply_partition(0, lower_half);
+    settle(gcs, nullptr);
+    gcs.apply_merge(0, 1);
+    settle(gcs, nullptr);
+  }
+
+  std::uint64_t allocs = 0;
+  std::uint64_t rounds = 0;
+  while (rounds < kMinMeasuredRounds) {
+    gcs.apply_partition(0, lower_half);
+    rounds += settle(gcs, &allocs);
+    gcs.apply_merge(0, 1);
+    rounds += settle(gcs, &allocs);
+  }
+
+  EXPECT_GE(rounds, kMinMeasuredRounds);
+  EXPECT_EQ(allocs, 0u)
+      << "steady-state hot path at N=" << kBigUniverse << " allocated "
+      << allocs << " times over " << rounds
+      << " rounds; the spill arena is supposed to extend the zero-alloc "
+      << "guarantee past the N<=128 inline limit";
+}
+
 /// The quiet case: rounds with no protocol traffic at all must obviously
 /// stay allocation-free too (this is the common case in low-rate sweeps).
 TEST(AllocRegression, QuiescentRoundsAreAllocationFree) {

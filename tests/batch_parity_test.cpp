@@ -1,0 +1,182 @@
+// Batched Monte-Carlo engine parity: the lockstep BatchDriver -- with
+// prefix-spine adoption and quiet-gap fast-forward -- must reproduce the
+// legacy one-run-at-a-time loop bit for bit.  Every assertion here compares
+// full encoded CaseResults (or whole RunResults), not summaries.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/batch_driver.hpp"
+#include "sim/driver.hpp"
+#include "sim/experiment.hpp"
+#include "sim/prefix.hpp"
+#include "util/codec.hpp"
+#include "util/rng.hpp"
+
+namespace dynvote {
+namespace {
+
+CaseSpec small_case(AlgorithmKind kind, double rate) {
+  CaseSpec spec;
+  spec.algorithm = kind;
+  spec.processes = 16;
+  spec.changes = 4;
+  spec.mean_rounds = rate;
+  spec.runs = 24;
+  spec.base_seed = 20260808;
+  return spec;
+}
+
+std::vector<std::byte> result_bytes(const CaseResult& result) {
+  Encoder enc;
+  result.encode_body(enc);
+  return enc.take();
+}
+
+/// Scoped DV_BATCH override that restores the previous value on exit, so
+/// the tests in this binary cannot leak widths into each other.
+class ScopedBatchWidth {
+ public:
+  explicit ScopedBatchWidth(const char* value) {
+    const char* old = std::getenv("DV_BATCH");
+    if (old != nullptr) saved_ = old;
+    ::setenv("DV_BATCH", value, 1);
+  }
+  ~ScopedBatchWidth() {
+    if (saved_.has_value()) {
+      ::setenv("DV_BATCH", saved_->c_str(), 1);
+    } else {
+      ::unsetenv("DV_BATCH");
+    }
+  }
+
+ private:
+  std::optional<std::string> saved_;
+};
+
+SimulationConfig run_config(const CaseSpec& spec, std::uint64_t run_index) {
+  SimulationConfig config;
+  config.algorithm = spec.algorithm;
+  config.processes = spec.processes;
+  config.changes_per_run = spec.changes;
+  config.mean_rounds_between_changes = spec.mean_rounds;
+  config.seed = mix_seed(spec.base_seed, spec.processes, spec.changes,
+                         std::bit_cast<std::uint64_t>(spec.mean_rounds),
+                         run_index);
+  return config;
+}
+
+TEST(BatchParity, FastForwardLeavesRunResultsBitIdentical) {
+  // The quiet-gap fast-forward alone (no prefix, no lanes) against the
+  // event-for-event loop, across algorithms, rates, and seeds -- including
+  // wire and checker counters, which the fast path advances arithmetically.
+  for (const AlgorithmKind kind :
+       {AlgorithmKind::kYkd, AlgorithmKind::kDfls, AlgorithmKind::kMr1p,
+        AlgorithmKind::kOnePending}) {
+    for (const double rate : {0.0, 3.0, 9.0}) {
+      std::uint64_t skipped = 0;
+      for (std::uint64_t run = 0; run < 6; ++run) {
+        const CaseSpec spec = small_case(kind, rate);
+        SimulationConfig legacy = run_config(spec, run);
+        SimulationConfig fast = legacy;
+        fast.fast_forward_quiet_gaps = true;
+        Simulation a(legacy);
+        Simulation b(fast);
+        const RunResult ra = a.run_once();
+        const RunResult rb = b.run_once();
+        EXPECT_EQ(ra, rb) << to_string(kind) << " rate=" << rate
+                          << " run=" << run;
+        EXPECT_EQ(a.gcs().wire_stats().messages_sent,
+                  b.gcs().wire_stats().messages_sent);
+        EXPECT_EQ(a.gcs().deliveries(), b.gcs().deliveries());
+        EXPECT_EQ(a.invariant_checks(), b.invariant_checks());
+        skipped += b.fast_forwarded_rounds();
+      }
+      // At a long mean gap the fast path must actually engage somewhere
+      // (post-fault gaps always run at least one real round first, so not
+      // every individual run is required to skip).
+      if (rate >= 9.0) {
+        EXPECT_GT(skipped, 0u) << to_string(kind) << " rate=" << rate;
+      }
+    }
+  }
+}
+
+TEST(BatchParity, PrefixAdoptionMatchesPlainRun) {
+  // Starting a run by adopting the shared prefix spine, then finishing it
+  // with run_events, equals running it whole -- for every counter the
+  // aggregation layer folds.
+  const CaseSpec spec = small_case(AlgorithmKind::kYkd, 4.0);
+  SimulationConfig spine = run_config(spec, 0);
+  spine.fast_forward_quiet_gaps = true;
+  const PrefixCache prefix(spine);
+  for (std::uint64_t run = 0; run < 8; ++run) {
+    SimulationConfig config = run_config(spec, run);
+    config.fast_forward_quiet_gaps = true;
+    Simulation plain(config);
+    const RunResult expected = plain.run_once();
+
+    Simulation adopted(config);
+    (void)adopted.begin_run_with_prefix(prefix);
+    const std::optional<RunResult> got = adopted.run_events(SIZE_MAX);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(expected, *got) << "run=" << run;
+    EXPECT_EQ(plain.gcs().wire_stats().messages_sent,
+              adopted.gcs().wire_stats().messages_sent);
+    EXPECT_EQ(plain.gcs().deliveries(), adopted.gcs().deliveries());
+    EXPECT_EQ(plain.invariant_checks(), adopted.invariant_checks());
+  }
+}
+
+TEST(BatchParity, WidthsProduceBitIdenticalCaseResults) {
+  for (const AlgorithmKind kind :
+       {AlgorithmKind::kYkd, AlgorithmKind::kDfls, AlgorithmKind::kMr1p}) {
+    const CaseSpec spec = small_case(kind, 3.0);
+    std::vector<std::byte> control;
+    {
+      ScopedBatchWidth width("1");
+      control = result_bytes(run_case_shard(spec, 0, spec.runs));
+    }
+    for (const char* width_value : {"2", "3", "8"}) {
+      ScopedBatchWidth width(width_value);
+      BatchTelemetry telemetry;
+      const CaseResult batched =
+          run_case_shard(spec, 0, spec.runs, &telemetry);
+      EXPECT_EQ(control, result_bytes(batched))
+          << to_string(kind) << " DV_BATCH=" << width_value;
+      EXPECT_EQ(telemetry.runs, spec.runs);
+      EXPECT_EQ(telemetry.prefix_hits + telemetry.prefix_misses, spec.runs);
+      EXPECT_GT(telemetry.batch_width, 1u);
+    }
+  }
+}
+
+TEST(BatchParity, ShardMergeUnderBatchMatchesWholeCase) {
+  // The sweep runner's shard/merge discipline holds under the batched
+  // engine too: contiguous shards merged in run order equal one shard.
+  const CaseSpec spec = small_case(AlgorithmKind::kDfls, 5.0);
+  ScopedBatchWidth width("8");
+  const CaseResult whole = run_case_shard(spec, 0, spec.runs);
+  CaseResult merged = run_case_shard(spec, 0, 7);
+  merged.merge(run_case_shard(spec, 7, spec.runs - 7));
+  EXPECT_EQ(result_bytes(whole), result_bytes(merged));
+}
+
+TEST(BatchParity, TelemetryCountsFastForwardAtQuietRates) {
+  // At a generous gap the spine quiesces and later gaps fast-forward, so
+  // the batched shard must report adopted prefix rounds and skipped rounds.
+  const CaseSpec spec = small_case(AlgorithmKind::kYkd, 8.0);
+  ScopedBatchWidth width("8");
+  BatchTelemetry telemetry;
+  (void)run_case_shard(spec, 0, spec.runs, &telemetry);
+  EXPECT_GT(telemetry.prefix_hits, 0u);
+  EXPECT_GE(telemetry.prefix_rounds_adopted, telemetry.prefix_hits);
+  EXPECT_GT(telemetry.ff_rounds_skipped, 0u);
+  EXPECT_GT(telemetry.end_component_members, 0u);
+}
+
+}  // namespace
+}  // namespace dynvote

@@ -1,0 +1,168 @@
+// ProcessSetBatch must agree, lane for lane, with the scalar ProcessSet
+// algebra it replaces -- the batched engine's correctness rests on the SoA
+// ops being a pure re-layout, not a re-definition.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/process_set.hpp"
+#include "core/process_set_batch.hpp"
+#include "core/quorum.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace dynvote {
+namespace {
+
+constexpr std::uint64_t kBatchTestSeed = 0xBA7C4;
+
+ProcessSet random_set(std::size_t universe, Rng& rng) {
+  ProcessSet s(universe);
+  for (std::size_t id = 0; id < universe; ++id) {
+    if (rng.next_u64() % 2 == 0) s.insert(static_cast<ProcessId>(id));
+  }
+  return s;
+}
+
+TEST(ProcessSetBatch, LanesRoundTripThroughProcessSet) {
+  for (const std::size_t n : {5u, 64u, 129u, 256u}) {
+    SCOPED_TRACE("universe " + std::to_string(n));
+    Rng rng(mix_seed(kBatchTestSeed, n));
+    ProcessSetBatch batch(n, 8);
+    std::vector<ProcessSet> mirror;
+    for (std::size_t lane = 0; lane < batch.lanes(); ++lane) {
+      const ProcessSet s = random_set(n, rng);
+      batch.set_lane(lane, s);
+      mirror.push_back(s);
+    }
+    for (std::size_t lane = 0; lane < batch.lanes(); ++lane) {
+      EXPECT_EQ(batch.extract_lane(lane), mirror[lane]);
+      EXPECT_EQ(batch.lane_count(lane), mirror[lane].count());
+      mirror[lane].for_each([&](ProcessId id) {
+        EXPECT_TRUE(batch.lane_contains(lane, id));
+      });
+    }
+  }
+}
+
+TEST(ProcessSetBatch, LaneWiseAlgebraMatchesScalar) {
+  constexpr std::size_t kUniverse = 200;
+  constexpr std::size_t kLanes = 16;
+  Rng rng(mix_seed(kBatchTestSeed, 1));
+
+  ProcessSetBatch a(kUniverse, kLanes);
+  ProcessSetBatch b(kUniverse, kLanes);
+  std::vector<ProcessSet> sa, sb;
+  for (std::size_t lane = 0; lane < kLanes; ++lane) {
+    sa.push_back(random_set(kUniverse, rng));
+    sb.push_back(random_set(kUniverse, rng));
+    a.set_lane(lane, sa.back());
+    b.set_lane(lane, sb.back());
+  }
+
+  ProcessSetBatch inter = a;
+  inter.intersect_lanes(b);
+  ProcessSetBatch diff = a;
+  diff.minus_lanes(b);
+  ProcessSetBatch uni = a;
+  uni.unite_lanes(b);
+
+  for (std::size_t lane = 0; lane < kLanes; ++lane) {
+    SCOPED_TRACE("lane " + std::to_string(lane));
+    EXPECT_EQ(inter.extract_lane(lane), sa[lane].intersected_with(sb[lane]));
+    EXPECT_EQ(diff.extract_lane(lane), sa[lane].minus(sb[lane]));
+    EXPECT_EQ(uni.extract_lane(lane), sa[lane].united_with(sb[lane]));
+  }
+}
+
+TEST(ProcessSetBatch, BroadcastAlgebraMatchesScalar) {
+  constexpr std::size_t kUniverse = 257;  // spilled, partial tail word
+  constexpr std::size_t kLanes = 7;
+  Rng rng(mix_seed(kBatchTestSeed, 2));
+
+  ProcessSetBatch base(kUniverse, kLanes);
+  std::vector<ProcessSet> mirror;
+  for (std::size_t lane = 0; lane < kLanes; ++lane) {
+    mirror.push_back(random_set(kUniverse, rng));
+    base.set_lane(lane, mirror[lane]);
+  }
+  const ProcessSet mask = random_set(kUniverse, rng);
+
+  ProcessSetBatch inter = base;
+  inter.intersect_broadcast(mask);
+  ProcessSetBatch diff = base;
+  diff.minus_broadcast(mask);
+  ProcessSetBatch uni = base;
+  uni.unite_broadcast(mask);
+
+  std::vector<std::size_t> shared(kLanes);
+  base.intersection_counts(mask, shared.data());
+  std::vector<std::size_t> sizes(kLanes);
+  base.counts(sizes.data());
+
+  for (std::size_t lane = 0; lane < kLanes; ++lane) {
+    SCOPED_TRACE("lane " + std::to_string(lane));
+    EXPECT_EQ(inter.extract_lane(lane), mirror[lane].intersected_with(mask));
+    EXPECT_EQ(diff.extract_lane(lane), mirror[lane].minus(mask));
+    EXPECT_EQ(uni.extract_lane(lane), mirror[lane].united_with(mask));
+    EXPECT_EQ(shared[lane], mirror[lane].intersection_count(mask));
+    EXPECT_EQ(sizes[lane], mirror[lane].count());
+  }
+}
+
+TEST(ProcessSetBatch, SubquorumVerdictsMatchScalarIncludingTieBreak) {
+  constexpr std::size_t kUniverse = 64;
+  Rng rng(mix_seed(kBatchTestSeed, 3));
+
+  // Include hand-built exact-half lanes so the lexical tie-break is
+  // actually exercised, not just the majority fast paths.
+  ProcessSet of(kUniverse);
+  for (ProcessId p = 4; p < 12; ++p) of.insert(p);  // |of| = 8, lowest = 4
+
+  std::vector<ProcessSet> lanes;
+  ProcessSet half_with(kUniverse, {4, 5, 6, 7});     // half, contains lowest
+  ProcessSet half_without(kUniverse, {8, 9, 10, 11});  // half, no lowest
+  lanes.push_back(half_with);
+  lanes.push_back(half_without);
+  for (int i = 0; i < 14; ++i) lanes.push_back(random_set(kUniverse, rng));
+
+  ProcessSetBatch batch(kUniverse, lanes.size());
+  for (std::size_t lane = 0; lane < lanes.size(); ++lane) {
+    batch.set_lane(lane, lanes[lane]);
+  }
+  std::vector<bool> verdicts(lanes.size());
+  // std::vector<bool> has no data(); use a plain buffer.
+  std::vector<char> raw(lanes.size());
+  batch.subquorum_of(of, reinterpret_cast<bool*>(raw.data()));
+  for (std::size_t lane = 0; lane < lanes.size(); ++lane) {
+    SCOPED_TRACE("lane " + std::to_string(lane));
+    EXPECT_EQ(raw[lane] != 0, is_subquorum(lanes[lane], of));
+  }
+  EXPECT_NE(raw[0], raw[1]);  // the tie-break split the two half lanes
+}
+
+TEST(ProcessSetBatch, ShapeMismatchesThrow) {
+  ProcessSetBatch a(64, 4);
+  ProcessSetBatch b(64, 5);
+  ProcessSetBatch c(65, 4);
+  EXPECT_THROW(a.intersect_lanes(b), PreconditionViolation);
+  EXPECT_THROW(a.minus_lanes(c), PreconditionViolation);
+  EXPECT_THROW(a.set_lane(0, ProcessSet(63)), PreconditionViolation);
+  EXPECT_THROW(a.lane_insert(0, 64), PreconditionViolation);
+  EXPECT_THROW((void)a.lane_words(4), PreconditionViolation);
+}
+
+TEST(ProcessSetBatch, ResetReshapesAndClears) {
+  ProcessSetBatch batch(64, 2);
+  batch.lane_insert(0, 3);
+  batch.reset(256, 4);
+  EXPECT_EQ(batch.universe_size(), 256u);
+  EXPECT_EQ(batch.lanes(), 4u);
+  EXPECT_EQ(batch.words_per_lane(), 4u);
+  for (std::size_t lane = 0; lane < 4; ++lane) {
+    EXPECT_EQ(batch.lane_count(lane), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace dynvote

@@ -1,6 +1,6 @@
 // bench_diff: compare two run manifests (sweep or microbench) for drift.
 //
-//   bench_diff BASELINE.json CANDIDATE.json
+//   bench_diff [--perf-gate PCT] BASELINE.json CANDIDATE.json
 //
 // Sweep manifests ("dynvote.sweep.*") compare on results_fingerprint
 // first: identical fingerprints mean bit-identical simulation results, so
@@ -9,17 +9,25 @@
 // drift informationally.  Differing fingerprints are a correctness event:
 // the tool diffs availability per case and exits non-zero so CI fails.
 //
+// --perf-gate PCT turns the perf report into a regression gate: after a
+// fingerprint match, any case whose rounds_per_sec fell more than PCT
+// percent below the baseline fails the compare with exit code 3.  Only
+// slowdowns gate -- speedups and new cases pass -- and the gate never runs
+// when fingerprints differ (a correctness failure outranks a timing one).
+//
 // Microbench manifests ("dynvote.microbench.v1") have no deterministic
 // payload -- they are all timing -- so bench_diff matches benchmarks by
 // name and reports per-iteration time drift, always exiting 0 (timing is
-// noisy; gate on fingerprints, watch the microbenches).
+// noisy; gate on fingerprints and --perf-gate, watch the microbenches).
 //
 // Exit codes, CI-stable:
 //   0  fingerprints match (or informational microbench compare)
 //   1  results fingerprints differ
 //   2  usage, I/O, parse, or schema error
+//   3  --perf-gate tripped: a case regressed beyond the threshold
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -34,7 +42,8 @@ namespace {
 using dynvote::JsonValue;
 
 int usage(const char* argv0) {
-  std::cerr << "usage: " << argv0 << " BASELINE.json CANDIDATE.json\n";
+  std::cerr << "usage: " << argv0
+            << " [--perf-gate PCT] BASELINE.json CANDIDATE.json\n";
   return 2;
 }
 
@@ -121,7 +130,20 @@ void perf_drift_line(const std::string& key, const JsonValue& base,
   std::cout << "\n";
 }
 
-int diff_sweeps(const JsonValue& base, const JsonValue& cand) {
+/// One case's gate verdict: the percent rounds_per_sec fell, when both
+/// sides carry the field and the candidate is slower.
+std::optional<double> rounds_regression_pct(const JsonValue& base,
+                                            const JsonValue& cand) {
+  const double before = base.number_or("rounds_per_sec", 0.0);
+  const double after = cand.number_or("rounds_per_sec", 0.0);
+  if (!(before > 0.0) || !(after > 0.0) || after >= before) {
+    return std::nullopt;
+  }
+  return (before - after) / before * 100.0;
+}
+
+int diff_sweeps(const JsonValue& base, const JsonValue& cand,
+                std::optional<double> perf_gate_pct) {
   const std::string_view base_fp = base.string_or("results_fingerprint", "");
   const std::string_view cand_fp = cand.string_or("results_fingerprint", "");
   if (base_fp.empty() || cand_fp.empty()) {
@@ -144,14 +166,23 @@ int diff_sweeps(const JsonValue& base, const JsonValue& cand) {
               << percent_delta(base.number_or("wall_seconds", 0.0),
                                cand.number_or("wall_seconds", 0.0))
               << ")\n";
+    bool gate_tripped = false;
     if (base_cases != nullptr && base_cases->is_array()) {
       for (const JsonValue& c : base_cases->items()) {
         const std::string key = case_key(c);
         const JsonValue* other = find_case(cand, key);
-        if (other != nullptr) perf_drift_line(key, c, *other);
+        if (other == nullptr) continue;
+        perf_drift_line(key, c, *other);
+        if (!perf_gate_pct.has_value()) continue;
+        const std::optional<double> drop = rounds_regression_pct(c, *other);
+        if (drop.has_value() && *drop > *perf_gate_pct) {
+          std::cout << "  PERF GATE: " << key << " rounds/sec fell "
+                    << *drop << "% (gate " << *perf_gate_pct << "%)\n";
+          gate_tripped = true;
+        }
       }
     }
-    return 0;
+    return gate_tripped ? 3 : 0;
   }
 
   std::cout << "RESULTS FINGERPRINT MISMATCH: " << base_fp << " vs " << cand_fp
@@ -221,9 +252,22 @@ int diff_microbench(const JsonValue& base, const JsonValue& cand) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 3) return usage(argv[0]);
-  const std::optional<JsonValue> base = load_manifest(argv[1]);
-  const std::optional<JsonValue> cand = load_manifest(argv[2]);
+  std::optional<double> perf_gate_pct;
+  int arg = 1;
+  if (arg < argc && std::string_view(argv[arg]) == "--perf-gate") {
+    if (arg + 1 >= argc) return usage(argv[0]);
+    char* end = nullptr;
+    const double pct = std::strtod(argv[arg + 1], &end);
+    if (end == argv[arg + 1] || *end != '\0' || !(pct >= 0.0)) {
+      std::cerr << "bench_diff: --perf-gate needs a non-negative percent\n";
+      return 2;
+    }
+    perf_gate_pct = pct;
+    arg += 2;
+  }
+  if (argc - arg != 2) return usage(argv[0]);
+  const std::optional<JsonValue> base = load_manifest(argv[arg]);
+  const std::optional<JsonValue> cand = load_manifest(argv[arg + 1]);
   if (!base || !cand) return 2;
 
   const std::string_view base_schema = base->string_or("schema", "");
@@ -233,7 +277,9 @@ int main(int argc, char** argv) {
   const bool base_micro = base_schema.substr(0, 19) == "dynvote.microbench.";
   const bool cand_micro = cand_schema.substr(0, 19) == "dynvote.microbench.";
 
-  if (base_sweep && cand_sweep) return diff_sweeps(*base, *cand);
+  if (base_sweep && cand_sweep) {
+    return diff_sweeps(*base, *cand, perf_gate_pct);
+  }
   if (base_micro && cand_micro) return diff_microbench(*base, *cand);
   std::cerr << "bench_diff: incomparable schemas '" << base_schema << "' vs '"
             << cand_schema << "'\n";
